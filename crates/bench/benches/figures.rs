@@ -1,0 +1,99 @@
+//! One benchmark per figure of the paper: each target runs the corresponding
+//! experiment end to end (at quick scale) and reports its wall-clock cost.
+//! Together with the `tables` bench this is the harness that regenerates the
+//! complete evaluation; run the experiment binaries (`cargo run --release
+//! --bin figXX ... standard`) for the full-size numbers recorded in
+//! `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use nc_experiments::{
+    fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
+};
+
+fn config(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_trace_figures(c: &mut Criterion) {
+    let c = config(c);
+    let mut group = c.benchmark_group("figures_trace_analysis");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("fig02_latency_histogram", |b| {
+        b.iter(|| black_box(fig02::run(fig02::Fig02Config::quick())))
+    });
+    group.bench_function("fig03_single_link", |b| {
+        b.iter(|| black_box(fig03::run(fig03::Fig03Config::quick())))
+    });
+    group.bench_function("fig04_history_size", |b| {
+        b.iter(|| black_box(fig04::run(fig04::Fig04Config::quick())))
+    });
+    group.finish();
+}
+
+fn bench_filter_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_filtering");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("fig05_filter_cdfs", |b| {
+        b.iter(|| black_box(fig05::run(fig05::Fig05Config::quick())))
+    });
+    group.bench_function("fig06_confidence", |b| {
+        b.iter(|| black_box(fig06::run(fig06::Fig06Config::quick())))
+    });
+    group.bench_function("fig07_drift", |b| {
+        b.iter(|| black_box(fig07::run(fig07::Fig07Config::quick())))
+    });
+    group.finish();
+}
+
+fn bench_heuristic_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_application_updates");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("fig08_threshold_sweep", |b| {
+        b.iter(|| black_box(fig08::run(fig08::Fig08Config::quick())))
+    });
+    group.bench_function("fig09_window_sweep", |b| {
+        b.iter(|| black_box(fig09::run(fig09::Fig09Config::quick())))
+    });
+    group.bench_function("fig10_heuristics", |b| {
+        b.iter(|| black_box(fig10::run(fig10::Fig10Config::quick())))
+    });
+    group.bench_function("fig11_app_vs_raw", |b| {
+        b.iter(|| black_box(fig11::run(fig11::Fig11Config::quick())))
+    });
+    group.bench_function("fig12_centroid", |b| {
+        b.iter(|| black_box(fig12::run(fig12::Fig12Config::quick())))
+    });
+    group.finish();
+}
+
+fn bench_deployment_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_deployment");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("fig13_planetlab", |b| {
+        b.iter(|| black_box(fig13::run(fig13::Fig13Config::quick())))
+    });
+    group.bench_function("fig14_convergence", |b| {
+        b.iter(|| black_box(fig14::run(fig14::Fig14Config::quick())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_trace_figures,
+    bench_filter_figures,
+    bench_heuristic_figures,
+    bench_deployment_figures
+);
+criterion_main!(figures);

@@ -1,0 +1,188 @@
+//! Micro-benchmarks of the per-observation costs: the latency filters, the
+//! Vivaldi update rule, the change-detection statistics and the full
+//! `StableNode::observe` path. These are the operations a deployed node
+//! performs for every probe, so their cost bounds the sustainable probing
+//! rate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nc_change::{EnergyHeuristic, RelativeHeuristic, UpdateContext, UpdateHeuristic};
+use nc_filters::{EwmaFilter, LatencyFilter, MovingPercentileFilter, RawFilter};
+use nc_stats::{energy_distance_by, percentile};
+use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiConfig, VivaldiState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stable_nc::{NodeConfig, StableNode};
+
+fn latency_stream(len: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.01) {
+                2_000.0 + rng.gen_range(0.0..20_000.0)
+            } else {
+                80.0 + rng.gen_range(-5.0..5.0)
+            }
+        })
+        .collect()
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let stream = latency_stream(1_000);
+    let mut group = c.benchmark_group("filters_per_1000_observations");
+    group.bench_function("moving_percentile_h4_p25", |b| {
+        b.iter_batched(
+            MovingPercentileFilter::paper_defaults,
+            |mut filter| {
+                for &s in &stream {
+                    black_box(filter.observe(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("moving_percentile_h128", |b| {
+        b.iter_batched(
+            || MovingPercentileFilter::new(128, 25.0).unwrap(),
+            |mut filter| {
+                for &s in &stream {
+                    black_box(filter.observe(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ewma_alpha_0_1", |b| {
+        b.iter_batched(
+            || EwmaFilter::new(0.1).unwrap(),
+            |mut filter| {
+                for &s in &stream {
+                    black_box(filter.observe(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("raw", |b| {
+        b.iter_batched(
+            RawFilter::new,
+            |mut filter| {
+                for &s in &stream {
+                    black_box(filter.observe(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_vivaldi_update(c: &mut Criterion) {
+    let remote = Coordinate::new(vec![30.0, 40.0, 10.0]).unwrap();
+    c.bench_function("vivaldi_observe", |b| {
+        b.iter_batched(
+            || VivaldiState::new(VivaldiConfig::paper_defaults()),
+            |mut state| {
+                for i in 0..100 {
+                    let obs = RemoteObservation::new(remote.clone(), 0.4, 60.0 + (i % 7) as f64);
+                    black_box(state.observe(&obs));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_change_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("change_detection_per_update");
+    let coords: Vec<Coordinate> = (0..128)
+        .map(|i| Coordinate::new(vec![i as f64 * 0.3, 20.0, 5.0]).unwrap())
+        .collect();
+    for window in [8usize, 32, 128] {
+        group.bench_function(format!("energy_window_{window}"), |b| {
+            b.iter_batched(
+                || EnergyHeuristic::new(8.0, window),
+                |mut heuristic| {
+                    let app = Coordinate::origin(3);
+                    for coord in &coords {
+                        black_box(heuristic.on_system_update(coord, &app, &UpdateContext::default()));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("relative_window_32", |b| {
+        b.iter_batched(
+            || RelativeHeuristic::new(0.3, 32),
+            |mut heuristic| {
+                let app = Coordinate::origin(3);
+                let ctx = UpdateContext {
+                    nearest_neighbor: Some(Coordinate::new(vec![5.0, 5.0, 0.0]).unwrap()),
+                };
+                for coord in &coords {
+                    black_box(heuristic.on_system_update(coord, &app, &ctx));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let data = latency_stream(10_000);
+    c.bench_function("percentile_10k_samples", |b| {
+        b.iter(|| black_box(percentile(&data, 95.0).unwrap()))
+    });
+    let a: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64, 0.0, 1.0]).collect();
+    let bb: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 + 10.0, 2.0, 1.0]).collect();
+    c.bench_function("energy_distance_32x32", |b| {
+        b.iter(|| {
+            black_box(
+                energy_distance_by(&a, &bb, |x, y| {
+                    x.iter()
+                        .zip(y.iter())
+                        .map(|(p, q)| (p - q) * (p - q))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_stable_node(c: &mut Criterion) {
+    let stream = latency_stream(1_000);
+    let remote = Coordinate::new(vec![30.0, 40.0, 10.0]).unwrap();
+    let mut group = c.benchmark_group("stable_node_per_1000_observations");
+    for (name, config) in [
+        ("paper_defaults", NodeConfig::paper_defaults()),
+        ("original_vivaldi", NodeConfig::original_vivaldi()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StableNode::<u32>::new(config.clone()),
+                |mut node| {
+                    for &rtt in &stream {
+                        black_box(node.observe(1, remote.clone(), 0.4, rtt));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_filters,
+    bench_vivaldi_update,
+    bench_change_detection,
+    bench_statistics,
+    bench_stable_node
+);
+criterion_main!(micro);

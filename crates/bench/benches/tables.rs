@@ -1,0 +1,51 @@
+//! Benchmarks for the paper's table (Table I) and the simulator itself:
+//! Table I end to end, plus ablations of the simulator's per-step cost with
+//! one versus several side-by-side configurations — the knob that determines
+//! how expensive the comparative experiments are.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use nc_experiments::table1;
+use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::sim::{SimConfig, Simulator};
+use stable_nc::NodeConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("table1_ewma_comparison", |b| {
+        b.iter(|| black_box(table1::run(table1::Table1Config::quick())))
+    });
+    group.finish();
+}
+
+fn bench_simulator_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for configs in [1usize, 2, 4] {
+        group.bench_function(format!("16_nodes_600s_{configs}_configs"), |b| {
+            b.iter(|| {
+                let named: Vec<(String, NodeConfig)> = (0..configs)
+                    .map(|i| (format!("c{i}"), NodeConfig::paper_defaults()))
+                    .collect();
+                let report = Simulator::new(
+                    PlanetLabConfig::small(16).with_seed(3),
+                    SimConfig::new(600.0, 5.0).with_measurement_start(300.0),
+                    named,
+                )
+                .run();
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_simulator_scaling);
+criterion_main!(tables);

@@ -1,0 +1,13 @@
+//! Benchmark-only crate.
+//!
+//! All content lives in `benches/`:
+//!
+//! * `micro` — per-observation costs of the filters, the Vivaldi update, the
+//!   change-detection statistics and the full `StableNode::observe` path.
+//! * `figures` — one Criterion target per paper figure, each running the
+//!   corresponding experiment end to end at quick scale.
+//! * `tables` — Table I end to end plus simulator scaling ablations.
+//!
+//! Run with `cargo bench --workspace`. For full-scale experiment numbers use
+//! the binaries in `nc-experiments` (e.g. `cargo run --release --bin
+//! fig13_planetlab standard`).

@@ -1,0 +1,716 @@
+//! The application-update heuristics of §V-B.
+//!
+//! Each heuristic watches the stream of system-level coordinates `c_s` and
+//! decides when the application-level coordinate `c_a` should be updated and
+//! to what value. The paper compares four heuristics (plus one ablation):
+//!
+//! | Heuristic | Trigger | New `c_a` | State |
+//! |-----------|---------|-----------|-------|
+//! | SYSTEM | `‖c_s(t) − c_s(t−1)‖ > τ` | `c_s` | previous `c_s` |
+//! | APPLICATION | `‖c_a − c_s‖ > τ` | `c_s` | none |
+//! | RELATIVE | `‖C(W_s) − C(W_c)‖ / ‖C(W_s) − r‖ > ε_r` | `C(W_c)` | two windows |
+//! | ENERGY | `e(W_s, W_c) > τ` | `C(W_c)` | two windows |
+//! | APPLICATION/CENTROID | `‖c_a − c_s‖ > τ` | centroid of recent `c_s` | sliding window |
+//!
+//! The windowed heuristics (RELATIVE, ENERGY) are the ones the paper finds
+//! robust: they increase stability substantially before accuracy starts to
+//! decline, while the window-less ones can only trade one for the other.
+
+use nc_stats::energy_distance_by;
+use nc_vivaldi::Coordinate;
+use serde::{Deserialize, Serialize};
+
+use crate::window::TwoWindowDetector;
+
+/// Additional per-update context a heuristic may consult.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateContext {
+    /// The coordinate of the (approximately) nearest known neighbour, learned
+    /// from the latency samples themselves. RELATIVE scales its trigger by
+    /// the distance to this neighbour so that updates are "relative to the
+    /// node's locale"; when it is unknown the heuristic stays quiet.
+    pub nearest_neighbor: Option<Coordinate>,
+}
+
+/// What a heuristic decided for one system-level update.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateDecision {
+    /// Keep the currently published application-level coordinate.
+    Keep,
+    /// Publish the contained coordinate as the new application-level
+    /// coordinate.
+    Publish(Coordinate),
+}
+
+impl UpdateDecision {
+    /// True when the decision publishes a new coordinate.
+    pub fn is_publish(&self) -> bool {
+        matches!(self, UpdateDecision::Publish(_))
+    }
+}
+
+/// Identifies one of the five heuristics (used by experiment sweeps and
+/// reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicKind {
+    /// Threshold on the last system-level step.
+    System,
+    /// Threshold on the drift between application and system coordinate.
+    Application,
+    /// Window-based, scaled by the distance to the nearest neighbour.
+    Relative,
+    /// Window-based, energy-distance two-sample test.
+    Energy,
+    /// APPLICATION trigger with a window-centroid target (§V-G ablation).
+    ApplicationCentroid,
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            HeuristicKind::System => "SYSTEM",
+            HeuristicKind::Application => "APPLICATION",
+            HeuristicKind::Relative => "RELATIVE",
+            HeuristicKind::Energy => "ENERGY",
+            HeuristicKind::ApplicationCentroid => "APPLICATION/CENTROID",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A strategy deciding when the application-level coordinate should change.
+///
+/// Implementations are driven by
+/// [`ApplicationCoordinate`](crate::ApplicationCoordinate); they receive every
+/// system-level coordinate `c_s` together with the currently published
+/// application-level coordinate `c_a`.
+pub trait UpdateHeuristic: Send {
+    /// Which heuristic family this is.
+    fn kind(&self) -> HeuristicKind;
+
+    /// Considers one new system-level coordinate and decides whether to
+    /// publish a new application-level coordinate.
+    fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        application: &Coordinate,
+        ctx: &UpdateContext,
+    ) -> UpdateDecision;
+}
+
+// ---------------------------------------------------------------------------
+// SYSTEM
+// ---------------------------------------------------------------------------
+
+/// SYSTEM heuristic: publish `c_s` whenever the system coordinate moved more
+/// than `τ` milliseconds in a single step.
+///
+/// Simple, but suffers from the pathological case the paper points out: many
+/// consecutive steps just under the threshold accumulate into a large drift
+/// that the application never hears about.
+#[derive(Debug, Clone)]
+pub struct SystemHeuristic {
+    threshold_ms: f64,
+    previous_system: Option<Coordinate>,
+}
+
+impl SystemHeuristic {
+    /// Creates the heuristic with step threshold `τ` in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is not a positive finite number.
+    pub fn new(threshold_ms: f64) -> Self {
+        assert!(
+            threshold_ms.is_finite() && threshold_ms > 0.0,
+            "threshold must be positive"
+        );
+        SystemHeuristic {
+            threshold_ms,
+            previous_system: None,
+        }
+    }
+
+    /// The τ = 16 ms setting at which the paper finds SYSTEM competitive with
+    /// the window heuristics (Figure 10).
+    pub fn paper_defaults() -> Self {
+        Self::new(16.0)
+    }
+
+    /// The configured threshold.
+    pub fn threshold_ms(&self) -> f64 {
+        self.threshold_ms
+    }
+}
+
+impl UpdateHeuristic for SystemHeuristic {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::System
+    }
+
+    fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        _application: &Coordinate,
+        _ctx: &UpdateContext,
+    ) -> UpdateDecision {
+        let decision = match &self.previous_system {
+            Some(prev) if prev.distance(system) > self.threshold_ms => {
+                UpdateDecision::Publish(system.clone())
+            }
+            _ => UpdateDecision::Keep,
+        };
+        self.previous_system = Some(system.clone());
+        decision
+    }
+}
+
+// ---------------------------------------------------------------------------
+// APPLICATION
+// ---------------------------------------------------------------------------
+
+/// APPLICATION heuristic: publish `c_s` when the published coordinate has
+/// drifted more than `τ` milliseconds away from it.
+///
+/// Captures slow drift in one direction but permits unbounded oscillation
+/// beneath the threshold.
+#[derive(Debug, Clone)]
+pub struct ApplicationHeuristic {
+    threshold_ms: f64,
+}
+
+impl ApplicationHeuristic {
+    /// Creates the heuristic with drift threshold `τ` in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is not a positive finite number.
+    pub fn new(threshold_ms: f64) -> Self {
+        assert!(
+            threshold_ms.is_finite() && threshold_ms > 0.0,
+            "threshold must be positive"
+        );
+        ApplicationHeuristic { threshold_ms }
+    }
+
+    /// The τ = 16 ms setting of Figure 10.
+    pub fn paper_defaults() -> Self {
+        Self::new(16.0)
+    }
+
+    /// The configured threshold.
+    pub fn threshold_ms(&self) -> f64 {
+        self.threshold_ms
+    }
+}
+
+impl UpdateHeuristic for ApplicationHeuristic {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Application
+    }
+
+    fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        application: &Coordinate,
+        _ctx: &UpdateContext,
+    ) -> UpdateDecision {
+        if application.distance(system) > self.threshold_ms {
+            UpdateDecision::Publish(system.clone())
+        } else {
+            UpdateDecision::Keep
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RELATIVE
+// ---------------------------------------------------------------------------
+
+/// RELATIVE heuristic: compare the centroids of the start and current
+/// windows, scaled by the distance to the nearest known neighbour:
+///
+/// ```text
+/// ‖C(W_s) − C(W_c)‖ / ‖C(W_s) − r‖ > ε_r  ⇒  publish C(W_c)
+/// ```
+///
+/// Updates are therefore relative to the node's locale: a node in a dense
+/// cluster updates after small absolute movements, a node whose nearest
+/// neighbour is 100 ms away only after proportionally larger ones.
+#[derive(Debug, Clone)]
+pub struct RelativeHeuristic {
+    threshold: f64,
+    windows: TwoWindowDetector,
+}
+
+impl RelativeHeuristic {
+    /// Creates the heuristic with relative threshold `ε_r` and per-window
+    /// size `window_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is not a positive finite number or the
+    /// window size is smaller than 2.
+    pub fn new(threshold: f64, window_size: usize) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
+        RelativeHeuristic {
+            threshold,
+            windows: TwoWindowDetector::new(window_size).expect("window size must be >= 2"),
+        }
+    }
+
+    /// The ε_r = 0.3, window 32 configuration the paper identifies as the
+    /// most conservative setting that still improves stability (§V-D).
+    pub fn paper_defaults() -> Self {
+        Self::new(0.3, 32)
+    }
+
+    /// The configured relative threshold ε_r.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configured window size.
+    pub fn window_size(&self) -> usize {
+        self.windows.window_size()
+    }
+}
+
+impl UpdateHeuristic for RelativeHeuristic {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Relative
+    }
+
+    fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        _application: &Coordinate,
+        ctx: &UpdateContext,
+    ) -> UpdateDecision {
+        self.windows.push(system.clone());
+        if !self.windows.is_ready() {
+            return UpdateDecision::Keep;
+        }
+        let Some(neighbor) = &ctx.nearest_neighbor else {
+            return UpdateDecision::Keep;
+        };
+        let start_centroid = self.windows.start_centroid().expect("windows are ready");
+        let current_centroid = self.windows.current_centroid().expect("windows are ready");
+        let locale = start_centroid.distance(neighbor);
+        if locale <= f64::EPSILON {
+            return UpdateDecision::Keep;
+        }
+        let movement = start_centroid.distance(&current_centroid);
+        if movement / locale > self.threshold {
+            self.windows.declare_change_point();
+            UpdateDecision::Publish(current_centroid)
+        } else {
+            UpdateDecision::Keep
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ENERGY
+// ---------------------------------------------------------------------------
+
+/// ENERGY heuristic: declare a change when the Székely–Rizzo energy distance
+/// between the start and current windows exceeds `τ`, and publish the
+/// centroid of the current window.
+#[derive(Debug, Clone)]
+pub struct EnergyHeuristic {
+    threshold: f64,
+    windows: TwoWindowDetector,
+}
+
+impl EnergyHeuristic {
+    /// Creates the heuristic with energy threshold `τ` and per-window size
+    /// `window_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is not a positive finite number or the
+    /// window size is smaller than 2.
+    pub fn new(threshold: f64, window_size: usize) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
+        EnergyHeuristic {
+            threshold,
+            windows: TwoWindowDetector::new(window_size).expect("window size must be >= 2"),
+        }
+    }
+
+    /// The τ = 8, window 32 configuration used for the paper's PlanetLab
+    /// deployment (§VI).
+    pub fn paper_defaults() -> Self {
+        Self::new(8.0, 32)
+    }
+
+    /// The configured energy threshold τ.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configured window size.
+    pub fn window_size(&self) -> usize {
+        self.windows.window_size()
+    }
+
+    /// Energy distance between the two current windows, or `None` when the
+    /// windows are not yet full. Exposed for diagnostics and tests.
+    pub fn current_statistic(&self) -> Option<f64> {
+        if !self.windows.is_ready() {
+            return None;
+        }
+        let start = self.windows.start_window().to_vec();
+        let current = self.windows.current_window();
+        energy_distance_by(&start, &current, |a, b| a.distance(b)).ok()
+    }
+}
+
+impl UpdateHeuristic for EnergyHeuristic {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Energy
+    }
+
+    fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        _application: &Coordinate,
+        _ctx: &UpdateContext,
+    ) -> UpdateDecision {
+        self.windows.push(system.clone());
+        if !self.windows.is_ready() {
+            return UpdateDecision::Keep;
+        }
+        let statistic = self.current_statistic().expect("windows are ready");
+        if statistic > self.threshold {
+            let target = self.windows.current_centroid().expect("windows are ready");
+            self.windows.declare_change_point();
+            UpdateDecision::Publish(target)
+        } else {
+            UpdateDecision::Keep
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// APPLICATION/CENTROID
+// ---------------------------------------------------------------------------
+
+/// APPLICATION/CENTROID ablation (§V-G): the APPLICATION drift trigger, but
+/// publishing the centroid of a sliding window of recent system coordinates
+/// instead of the instantaneous coordinate.
+///
+/// The paper uses this to show that the windowed heuristics' advantage is not
+/// only the centroid target: knowing *when* to update matters, and a plain
+/// threshold remains fragile even with a good target.
+#[derive(Debug, Clone)]
+pub struct CentroidHeuristic {
+    threshold_ms: f64,
+    window: std::collections::VecDeque<Coordinate>,
+    window_size: usize,
+}
+
+impl CentroidHeuristic {
+    /// Creates the heuristic with drift threshold `τ` (milliseconds) and a
+    /// sliding window of `window_size` recent system coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is not a positive finite number or the
+    /// window size is zero.
+    pub fn new(threshold_ms: f64, window_size: usize) -> Self {
+        assert!(
+            threshold_ms.is_finite() && threshold_ms > 0.0,
+            "threshold must be positive"
+        );
+        assert!(window_size > 0, "window size must be positive");
+        CentroidHeuristic {
+            threshold_ms,
+            window: std::collections::VecDeque::with_capacity(window_size),
+            window_size,
+        }
+    }
+
+    /// Window of 32 coordinates (matching the windowed heuristics) and the
+    /// τ = 16 ms threshold of Figure 12's sweet spot.
+    pub fn paper_defaults() -> Self {
+        Self::new(16.0, 32)
+    }
+
+    /// The configured threshold.
+    pub fn threshold_ms(&self) -> f64 {
+        self.threshold_ms
+    }
+
+    /// The configured window size.
+    pub fn window_size(&self) -> usize {
+        self.window_size
+    }
+}
+
+impl UpdateHeuristic for CentroidHeuristic {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::ApplicationCentroid
+    }
+
+    fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        application: &Coordinate,
+        _ctx: &UpdateContext,
+    ) -> UpdateDecision {
+        if self.window.len() == self.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(system.clone());
+        if application.distance(system) > self.threshold_ms {
+            let coords: Vec<Coordinate> = self.window.iter().cloned().collect();
+            let centroid = Coordinate::centroid(&coords).expect("window is non-empty");
+            UpdateDecision::Publish(centroid)
+        } else {
+            UpdateDecision::Keep
+        }
+    }
+}
+
+/// Builds a boxed heuristic of the given kind with its paper-default
+/// parameters.
+pub fn make_heuristic(kind: HeuristicKind) -> Box<dyn UpdateHeuristic + Send> {
+    match kind {
+        HeuristicKind::System => Box::new(SystemHeuristic::paper_defaults()),
+        HeuristicKind::Application => Box::new(ApplicationHeuristic::paper_defaults()),
+        HeuristicKind::Relative => Box::new(RelativeHeuristic::paper_defaults()),
+        HeuristicKind::Energy => Box::new(EnergyHeuristic::paper_defaults()),
+        HeuristicKind::ApplicationCentroid => Box::new(CentroidHeuristic::paper_defaults()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64) -> Coordinate {
+        Coordinate::new(vec![x, y]).unwrap()
+    }
+
+    fn ctx_with_neighbor(x: f64, y: f64) -> UpdateContext {
+        UpdateContext {
+            nearest_neighbor: Some(c(x, y)),
+        }
+    }
+
+    #[test]
+    fn system_heuristic_triggers_on_large_step() {
+        let mut h = SystemHeuristic::new(5.0);
+        let app = c(0.0, 0.0);
+        assert_eq!(h.on_system_update(&c(0.0, 0.0), &app, &UpdateContext::default()), UpdateDecision::Keep);
+        assert_eq!(h.on_system_update(&c(1.0, 0.0), &app, &UpdateContext::default()), UpdateDecision::Keep);
+        let decision = h.on_system_update(&c(20.0, 0.0), &app, &UpdateContext::default());
+        assert_eq!(decision, UpdateDecision::Publish(c(20.0, 0.0)));
+    }
+
+    #[test]
+    fn system_heuristic_misses_slow_drift() {
+        // The documented pathology: many sub-threshold steps never publish.
+        let mut h = SystemHeuristic::new(5.0);
+        let app = c(0.0, 0.0);
+        let mut published = 0;
+        for i in 1..=100 {
+            let sys = c(i as f64 * 4.0, 0.0); // 4 ms per step, 400 ms total drift
+            if h.on_system_update(&sys, &app, &UpdateContext::default()).is_publish() {
+                published += 1;
+            }
+        }
+        assert_eq!(published, 0);
+    }
+
+    #[test]
+    fn application_heuristic_catches_drift() {
+        let mut h = ApplicationHeuristic::new(5.0);
+        let app = c(0.0, 0.0);
+        let mut first_publish_at = None;
+        for i in 1..=10 {
+            let sys = c(i as f64, 0.0);
+            if h.on_system_update(&sys, &app, &UpdateContext::default()).is_publish() {
+                first_publish_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(first_publish_at, Some(6), "publishes once drift exceeds 5 ms");
+    }
+
+    #[test]
+    fn application_heuristic_permits_oscillation_below_threshold() {
+        let mut h = ApplicationHeuristic::new(10.0);
+        let app = c(0.0, 0.0);
+        for i in 0..100 {
+            let sys = if i % 2 == 0 { c(4.0, 0.0) } else { c(-4.0, 0.0) };
+            assert_eq!(h.on_system_update(&sys, &app, &UpdateContext::default()), UpdateDecision::Keep);
+        }
+    }
+
+    #[test]
+    fn relative_heuristic_requires_neighbor() {
+        let mut h = RelativeHeuristic::new(0.3, 4);
+        let app = c(0.0, 0.0);
+        for i in 0..50 {
+            let sys = c(i as f64 * 10.0, 0.0);
+            assert_eq!(
+                h.on_system_update(&sys, &app, &UpdateContext::default()),
+                UpdateDecision::Keep,
+                "no neighbour known, no update"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_heuristic_scales_with_locale() {
+        // Identical coordinate movement; a near neighbour makes it
+        // significant, a far one does not.
+        let run = |neighbor: Coordinate| -> usize {
+            let mut h = RelativeHeuristic::new(0.3, 4);
+            let app = c(0.0, 0.0);
+            let ctx = UpdateContext {
+                nearest_neighbor: Some(neighbor),
+            };
+            let mut publishes = 0;
+            for i in 0..40 {
+                let sys = c(i as f64 * 2.0, 0.0); // steady 2 ms/obs drift
+                if h.on_system_update(&sys, &app, &ctx).is_publish() {
+                    publishes += 1;
+                }
+            }
+            publishes
+        };
+        let near = run(c(0.0, 10.0));
+        let far = run(c(0.0, 10_000.0));
+        assert!(near > far, "near={near} far={far}");
+        assert_eq!(far, 0);
+    }
+
+    #[test]
+    fn relative_publishes_current_centroid_and_resets() {
+        let mut h = RelativeHeuristic::new(0.1, 2);
+        let app = c(0.0, 0.0);
+        let ctx = ctx_with_neighbor(0.0, 5.0);
+        let mut last_publish = None;
+        for i in 0..20 {
+            let sys = c(i as f64 * 3.0, 0.0);
+            if let UpdateDecision::Publish(target) = h.on_system_update(&sys, &app, &ctx) {
+                last_publish = Some(target);
+                break;
+            }
+        }
+        let target = last_publish.expect("should publish");
+        // The published target is a centroid of recent system coordinates,
+        // not the instantaneous one.
+        assert!(target.components()[0] > 0.0);
+    }
+
+    #[test]
+    fn energy_heuristic_ignores_stationary_jitter() {
+        let mut h = EnergyHeuristic::new(8.0, 8);
+        let app = c(0.0, 0.0);
+        for i in 0..200 {
+            let jitter = (i % 7) as f64 * 0.05;
+            let sys = c(50.0 + jitter, 20.0);
+            assert!(!h.on_system_update(&sys, &app, &UpdateContext::default()).is_publish());
+        }
+    }
+
+    #[test]
+    fn energy_heuristic_detects_level_shift() {
+        let mut h = EnergyHeuristic::new(8.0, 8);
+        let app = c(0.0, 0.0);
+        for _ in 0..16 {
+            h.on_system_update(&c(10.0, 10.0), &app, &UpdateContext::default());
+        }
+        // The coordinate jumps 100 ms away and stays there.
+        let mut published = None;
+        for i in 0..16 {
+            let decision = h.on_system_update(&c(110.0, 10.0), &app, &UpdateContext::default());
+            if let UpdateDecision::Publish(target) = decision {
+                published = Some((i, target));
+                break;
+            }
+        }
+        let (after, target) = published.expect("shift should be detected");
+        assert!(after < 16, "detected within one window, after {after} samples");
+        assert!(target.components()[0] > 20.0, "target tracks the new location");
+    }
+
+    #[test]
+    fn energy_statistic_is_none_until_ready() {
+        let mut h = EnergyHeuristic::new(8.0, 4);
+        assert_eq!(h.current_statistic(), None);
+        let app = c(0.0, 0.0);
+        for _ in 0..4 {
+            h.on_system_update(&c(1.0, 1.0), &app, &UpdateContext::default());
+        }
+        assert!(h.current_statistic().is_some());
+    }
+
+    #[test]
+    fn centroid_heuristic_publishes_window_centroid() {
+        let mut h = CentroidHeuristic::new(5.0, 4);
+        let app = c(0.0, 0.0);
+        // Fill the window with coordinates near 10, then trigger.
+        let mut decision = UpdateDecision::Keep;
+        for x in [8.0, 9.0, 10.0, 11.0] {
+            decision = h.on_system_update(&c(x, 0.0), &app, &UpdateContext::default());
+        }
+        match decision {
+            UpdateDecision::Publish(target) => {
+                assert!((target.components()[0] - 9.5).abs() < 1e-9);
+            }
+            UpdateDecision::Keep => panic!("drift of ~10 ms should trigger a 5 ms threshold"),
+        }
+    }
+
+    #[test]
+    fn centroid_heuristic_keeps_below_threshold() {
+        let mut h = CentroidHeuristic::new(50.0, 4);
+        let app = c(0.0, 0.0);
+        for x in [8.0, 9.0, 10.0, 11.0] {
+            assert_eq!(h.on_system_update(&c(x, 0.0), &app, &UpdateContext::default()), UpdateDecision::Keep);
+        }
+    }
+
+    #[test]
+    fn make_heuristic_builds_every_kind() {
+        for kind in [
+            HeuristicKind::System,
+            HeuristicKind::Application,
+            HeuristicKind::Relative,
+            HeuristicKind::Energy,
+            HeuristicKind::ApplicationCentroid,
+        ] {
+            let h = make_heuristic(kind);
+            assert_eq!(h.kind(), kind);
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_defaults_match_section_vi() {
+        let e = EnergyHeuristic::paper_defaults();
+        assert_eq!(e.threshold(), 8.0);
+        assert_eq!(e.window_size(), 32);
+        let r = RelativeHeuristic::paper_defaults();
+        assert_eq!(r.threshold(), 0.3);
+        assert_eq!(r.window_size(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn negative_threshold_panics() {
+        let _ = EnergyHeuristic::new(-1.0, 32);
+    }
+}

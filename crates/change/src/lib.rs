@@ -1,0 +1,59 @@
+//! Application-level coordinates and change detection.
+//!
+//! The second contribution of *Stable and Accurate Network Coordinates* is
+//! the distinction between **system-level** coordinates — which evolve a
+//! little with every observation — and **application-level** coordinates —
+//! which should change only when something *significant* happened, because
+//! every application-level change can trigger expensive work (the paper's
+//! motivating application reacts to coordinate changes with process
+//! migrations).
+//!
+//! This crate implements:
+//!
+//! * [`TwoWindowDetector`] — the sliding-window change-detection scheme of
+//!   Kifer, Ben-David & Gehrke adapted to streams of coordinates: a frozen
+//!   *start* window `W_s` and a sliding *current* window `W_c` that are
+//!   compared for significant difference after every update (§V-A).
+//! * The five update heuristics of §V-B, each implementing
+//!   [`UpdateHeuristic`]:
+//!   [`SystemHeuristic`] (threshold on the last step),
+//!   [`ApplicationHeuristic`] (threshold on drift from the published
+//!   coordinate), [`RelativeHeuristic`] (window centroids compared to the
+//!   distance to the nearest neighbour), [`EnergyHeuristic`] (energy distance
+//!   between the windows) and [`CentroidHeuristic`]
+//!   (APPLICATION/CENTROID, the §V-G ablation).
+//! * [`ApplicationCoordinate`] — the manager that owns the published
+//!   application-level coordinate, feeds system-level updates to a heuristic
+//!   and reports when (and to what) the published coordinate changed.
+//!
+//! # Example
+//!
+//! ```
+//! use nc_change::{ApplicationCoordinate, EnergyHeuristic, UpdateContext};
+//! use nc_vivaldi::Coordinate;
+//!
+//! let heuristic = EnergyHeuristic::paper_defaults();
+//! let mut app = ApplicationCoordinate::new(Coordinate::origin(3), Box::new(heuristic));
+//!
+//! // Small jitter around a fixed point: the application coordinate holds still.
+//! for i in 0..100 {
+//!     let wiggle = (i % 5) as f64 * 0.1;
+//!     let system = Coordinate::new(vec![10.0 + wiggle, 20.0, 30.0]).unwrap();
+//!     app.on_system_update(&system, &UpdateContext::default());
+//! }
+//! assert!(app.update_count() <= 1, "jitter should not reach the application");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod heuristics;
+pub mod manager;
+pub mod window;
+
+pub use heuristics::{
+    ApplicationHeuristic, CentroidHeuristic, EnergyHeuristic, HeuristicKind, RelativeHeuristic,
+    SystemHeuristic, UpdateContext, UpdateDecision, UpdateHeuristic,
+};
+pub use manager::{ApplicationCoordinate, ApplicationUpdate};
+pub use window::TwoWindowDetector;

@@ -1,0 +1,234 @@
+//! The application-level coordinate manager.
+//!
+//! [`ApplicationCoordinate`] owns the coordinate an application actually
+//! sees. It receives every system-level coordinate the Vivaldi state machine
+//! produces, consults its [`UpdateHeuristic`] and, when the heuristic decides
+//! the change is significant, publishes a new application-level coordinate
+//! and reports the update so callers can account for application-level
+//! stability and update frequency (the metrics of Figures 9–13).
+
+use nc_vivaldi::Coordinate;
+
+use crate::heuristics::{UpdateContext, UpdateDecision, UpdateHeuristic};
+
+/// One published change of the application-level coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationUpdate {
+    /// The coordinate that was published before this update.
+    pub previous: Coordinate,
+    /// The newly published coordinate.
+    pub current: Coordinate,
+    /// Distance between the two (milliseconds) — the contribution of this
+    /// update to application-level instability.
+    pub displacement_ms: f64,
+}
+
+/// Owns the application-level coordinate `c_a` and decides, via a pluggable
+/// heuristic, when to move it.
+///
+/// # Examples
+///
+/// ```
+/// use nc_change::{ApplicationCoordinate, ApplicationHeuristic, UpdateContext};
+/// use nc_vivaldi::Coordinate;
+///
+/// let mut app = ApplicationCoordinate::new(
+///     Coordinate::origin(2),
+///     Box::new(ApplicationHeuristic::new(5.0)),
+/// );
+/// // A 20 ms drift exceeds the 5 ms threshold and is published.
+/// let update = app.on_system_update(
+///     &Coordinate::new(vec![20.0, 0.0]).unwrap(),
+///     &UpdateContext::default(),
+/// );
+/// assert!(update.is_some());
+/// assert_eq!(app.update_count(), 1);
+/// ```
+pub struct ApplicationCoordinate {
+    coordinate: Coordinate,
+    heuristic: Box<dyn UpdateHeuristic + Send>,
+    update_count: u64,
+    system_updates_seen: u64,
+    total_displacement_ms: f64,
+}
+
+impl std::fmt::Debug for ApplicationCoordinate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApplicationCoordinate")
+            .field("coordinate", &self.coordinate)
+            .field("heuristic", &self.heuristic.kind())
+            .field("update_count", &self.update_count)
+            .field("system_updates_seen", &self.system_updates_seen)
+            .field("total_displacement_ms", &self.total_displacement_ms)
+            .finish()
+    }
+}
+
+impl ApplicationCoordinate {
+    /// Creates a manager publishing `initial` until the heuristic first
+    /// triggers.
+    pub fn new(initial: Coordinate, heuristic: Box<dyn UpdateHeuristic + Send>) -> Self {
+        ApplicationCoordinate {
+            coordinate: initial,
+            heuristic,
+            update_count: 0,
+            system_updates_seen: 0,
+            total_displacement_ms: 0.0,
+        }
+    }
+
+    /// The currently published application-level coordinate.
+    pub fn coordinate(&self) -> &Coordinate {
+        &self.coordinate
+    }
+
+    /// Number of application-level updates published so far.
+    pub fn update_count(&self) -> u64 {
+        self.update_count
+    }
+
+    /// Number of system-level updates that have been considered.
+    pub fn system_updates_seen(&self) -> u64 {
+        self.system_updates_seen
+    }
+
+    /// Sum of all published displacements (milliseconds). Divided by elapsed
+    /// time this is the application-level instability metric.
+    pub fn total_displacement_ms(&self) -> f64 {
+        self.total_displacement_ms
+    }
+
+    /// The heuristic in use (for reporting).
+    pub fn heuristic_kind(&self) -> crate::heuristics::HeuristicKind {
+        self.heuristic.kind()
+    }
+
+    /// Considers one system-level coordinate. Returns the published update
+    /// when the heuristic decided to move the application-level coordinate,
+    /// or `None` when it held still.
+    pub fn on_system_update(
+        &mut self,
+        system: &Coordinate,
+        ctx: &UpdateContext,
+    ) -> Option<ApplicationUpdate> {
+        self.system_updates_seen += 1;
+        match self.heuristic.on_system_update(system, &self.coordinate, ctx) {
+            UpdateDecision::Keep => None,
+            UpdateDecision::Publish(target) => {
+                let previous = self.coordinate.clone();
+                let displacement_ms = previous.distance(&target);
+                self.coordinate = target.clone();
+                self.update_count += 1;
+                self.total_displacement_ms += displacement_ms;
+                Some(ApplicationUpdate {
+                    previous,
+                    current: target,
+                    displacement_ms,
+                })
+            }
+        }
+    }
+
+    /// Forces the published coordinate to `target` without consulting the
+    /// heuristic (used at bootstrap when a node first learns a plausible
+    /// coordinate, and by applications that want to resynchronise).
+    pub fn force_publish(&mut self, target: Coordinate) -> ApplicationUpdate {
+        let previous = self.coordinate.clone();
+        let displacement_ms = previous.distance(&target);
+        self.coordinate = target.clone();
+        self.update_count += 1;
+        self.total_displacement_ms += displacement_ms;
+        ApplicationUpdate {
+            previous,
+            current: target,
+            displacement_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{ApplicationHeuristic, EnergyHeuristic, SystemHeuristic};
+
+    fn c(x: f64, y: f64) -> Coordinate {
+        Coordinate::new(vec![x, y]).unwrap()
+    }
+
+    #[test]
+    fn keeps_initial_coordinate_until_triggered() {
+        let mut app =
+            ApplicationCoordinate::new(c(0.0, 0.0), Box::new(ApplicationHeuristic::new(100.0)));
+        for i in 0..50 {
+            let update = app.on_system_update(&c(i as f64, 0.0), &UpdateContext::default());
+            assert!(update.is_none());
+        }
+        assert_eq!(app.coordinate(), &c(0.0, 0.0));
+        assert_eq!(app.update_count(), 0);
+        assert_eq!(app.system_updates_seen(), 50);
+    }
+
+    #[test]
+    fn publishes_and_accounts_displacement() {
+        let mut app =
+            ApplicationCoordinate::new(c(0.0, 0.0), Box::new(ApplicationHeuristic::new(5.0)));
+        let update = app
+            .on_system_update(&c(12.0, 0.0), &UpdateContext::default())
+            .expect("drift beyond threshold publishes");
+        assert_eq!(update.previous, c(0.0, 0.0));
+        assert_eq!(update.current, c(12.0, 0.0));
+        assert_eq!(update.displacement_ms, 12.0);
+        assert_eq!(app.update_count(), 1);
+        assert_eq!(app.total_displacement_ms(), 12.0);
+        assert_eq!(app.coordinate(), &c(12.0, 0.0));
+    }
+
+    #[test]
+    fn force_publish_bypasses_heuristic() {
+        let mut app =
+            ApplicationCoordinate::new(c(0.0, 0.0), Box::new(ApplicationHeuristic::new(1e6)));
+        let update = app.force_publish(c(3.0, 4.0));
+        assert_eq!(update.displacement_ms, 5.0);
+        assert_eq!(app.coordinate(), &c(3.0, 4.0));
+        assert_eq!(app.update_count(), 1);
+    }
+
+    #[test]
+    fn app_level_instability_is_below_system_level() {
+        // The whole point of the machinery: the sum of application-level
+        // displacements is much smaller than the system-level movement when
+        // the system coordinate oscillates.
+        let mut app =
+            ApplicationCoordinate::new(c(0.0, 0.0), Box::new(EnergyHeuristic::new(8.0, 8)));
+        let mut system_displacement = 0.0;
+        let mut previous = c(0.0, 0.0);
+        for i in 0..500 {
+            let wiggle = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let system = c(50.0 + wiggle, 20.0);
+            system_displacement += previous.distance(&system);
+            previous = system.clone();
+            app.on_system_update(&system, &UpdateContext::default());
+        }
+        assert!(system_displacement > 500.0);
+        assert!(
+            app.total_displacement_ms() < system_displacement / 10.0,
+            "app-level displacement {} should be well below system-level {}",
+            app.total_displacement_ms(),
+            system_displacement
+        );
+    }
+
+    #[test]
+    fn debug_representation_is_nonempty() {
+        let app = ApplicationCoordinate::new(c(0.0, 0.0), Box::new(SystemHeuristic::new(1.0)));
+        let s = format!("{app:?}");
+        assert!(s.contains("ApplicationCoordinate"));
+        assert!(s.contains("System"));
+    }
+
+    #[test]
+    fn heuristic_kind_is_reported() {
+        let app = ApplicationCoordinate::new(c(0.0, 0.0), Box::new(EnergyHeuristic::new(8.0, 32)));
+        assert_eq!(app.heuristic_kind(), crate::HeuristicKind::Energy);
+    }
+}

@@ -1,0 +1,398 @@
+//! Configuration of a [`crate::StableNode`].
+
+use nc_change::{
+    ApplicationHeuristic, CentroidHeuristic, EnergyHeuristic, HeuristicKind, RelativeHeuristic,
+    SystemHeuristic, UpdateHeuristic,
+};
+use nc_filters::{
+    EwmaFilter, LatencyFilter, MovingMedianFilter, MovingPercentileFilter, RawFilter,
+    ThresholdFilter, WarmupFilter,
+};
+use nc_vivaldi::VivaldiConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which per-link filter a node applies to raw latency observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterConfig {
+    /// No filtering: raw observations go straight into Vivaldi (the paper's
+    /// "No Filter" baseline).
+    Raw,
+    /// Moving-percentile filter with history `h` and percentile `p`
+    /// (`h = 4`, `p = 25` in the paper).
+    MovingPercentile {
+        /// Number of recent observations kept per link.
+        history: usize,
+        /// Percentile (0–100) of the window returned as the estimate.
+        percentile: f64,
+    },
+    /// Moving-median filter with history `h`.
+    MovingMedian {
+        /// Number of recent observations kept per link.
+        history: usize,
+    },
+    /// Exponentially-weighted moving average with smoothing factor `alpha`.
+    Ewma {
+        /// Weight of the newest observation, in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Fixed threshold: observations above `cutoff_ms` are discarded.
+    Threshold {
+        /// Discard cut-off in milliseconds.
+        cutoff_ms: f64,
+    },
+}
+
+impl FilterConfig {
+    /// The paper's recommended filter: MP with `h = 4`, `p = 25`.
+    pub fn paper_mp() -> Self {
+        FilterConfig::MovingPercentile {
+            history: 4,
+            percentile: 25.0,
+        }
+    }
+
+    /// The filter family, for reporting.
+    pub fn kind(&self) -> nc_filters::FilterKind {
+        match self {
+            FilterConfig::Raw => nc_filters::FilterKind::Raw,
+            FilterConfig::MovingPercentile { .. } => nc_filters::FilterKind::MovingPercentile,
+            FilterConfig::MovingMedian { .. } => nc_filters::FilterKind::MovingMedian,
+            FilterConfig::Ewma { .. } => nc_filters::FilterKind::Ewma,
+            FilterConfig::Threshold { .. } => nc_filters::FilterKind::Threshold,
+        }
+    }
+
+    /// Builds one filter instance for a newly discovered link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds invalid parameters (zero history,
+    /// percentile outside 0–100, alpha outside `(0, 1]`, non-positive
+    /// cut-off). Configurations built through the public constructors are
+    /// always valid.
+    pub(crate) fn build(&self, warmup_samples: u64) -> Box<dyn LatencyFilter + Send> {
+        let inner: Box<dyn LatencyFilter + Send> = match self {
+            FilterConfig::Raw => Box::new(RawFilter::new()),
+            FilterConfig::MovingPercentile { history, percentile } => Box::new(
+                MovingPercentileFilter::new(*history, *percentile)
+                    .expect("invalid moving-percentile parameters"),
+            ),
+            FilterConfig::MovingMedian { history } => {
+                Box::new(MovingMedianFilter::new(*history).expect("invalid median history"))
+            }
+            FilterConfig::Ewma { alpha } => {
+                Box::new(EwmaFilter::new(*alpha).expect("invalid EWMA alpha"))
+            }
+            FilterConfig::Threshold { cutoff_ms } => {
+                Box::new(ThresholdFilter::new(*cutoff_ms).expect("invalid threshold cutoff"))
+            }
+        };
+        if warmup_samples > 1 {
+            Box::new(WarmupFilter::new(BoxedFilter(inner), warmup_samples))
+        } else {
+            inner
+        }
+    }
+}
+
+/// Adapter so a boxed filter can be wrapped by [`WarmupFilter`], which is
+/// generic over its inner filter.
+struct BoxedFilter(Box<dyn LatencyFilter + Send>);
+
+impl LatencyFilter for BoxedFilter {
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64> {
+        self.0.observe(raw_rtt_ms)
+    }
+    fn current_estimate(&self) -> Option<f64> {
+        self.0.current_estimate()
+    }
+    fn observations_seen(&self) -> u64 {
+        self.0.observations_seen()
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+}
+
+/// Which application-update heuristic a node runs on top of its system-level
+/// coordinate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HeuristicConfig {
+    /// Publish every system-level update unchanged — the application sees the
+    /// raw (filtered) coordinate stream. This is the "Raw MP Filter"
+    /// configuration of Figures 11 and 13.
+    FollowSystem,
+    /// SYSTEM heuristic with step threshold `τ` (ms).
+    System {
+        /// Step threshold in milliseconds.
+        threshold_ms: f64,
+    },
+    /// APPLICATION heuristic with drift threshold `τ` (ms).
+    Application {
+        /// Drift threshold in milliseconds.
+        threshold_ms: f64,
+    },
+    /// RELATIVE heuristic with relative threshold `ε_r` and window size.
+    Relative {
+        /// Relative movement threshold.
+        threshold: f64,
+        /// Per-window size.
+        window: usize,
+    },
+    /// ENERGY heuristic with energy threshold `τ` and window size.
+    Energy {
+        /// Energy-distance threshold.
+        threshold: f64,
+        /// Per-window size.
+        window: usize,
+    },
+    /// APPLICATION/CENTROID ablation with drift threshold `τ` (ms) and
+    /// window size.
+    ApplicationCentroid {
+        /// Drift threshold in milliseconds.
+        threshold_ms: f64,
+        /// Sliding window size for the centroid target.
+        window: usize,
+    },
+}
+
+impl HeuristicConfig {
+    /// The deployment configuration of §VI: ENERGY with window 32, τ = 8.
+    pub fn paper_energy() -> Self {
+        HeuristicConfig::Energy {
+            threshold: 8.0,
+            window: 32,
+        }
+    }
+
+    /// The RELATIVE configuration of §V-D: ε_r = 0.3, window 32.
+    pub fn paper_relative() -> Self {
+        HeuristicConfig::Relative {
+            threshold: 0.3,
+            window: 32,
+        }
+    }
+
+    /// The heuristic family, or `None` for [`HeuristicConfig::FollowSystem`].
+    pub fn kind(&self) -> Option<HeuristicKind> {
+        match self {
+            HeuristicConfig::FollowSystem => None,
+            HeuristicConfig::System { .. } => Some(HeuristicKind::System),
+            HeuristicConfig::Application { .. } => Some(HeuristicKind::Application),
+            HeuristicConfig::Relative { .. } => Some(HeuristicKind::Relative),
+            HeuristicConfig::Energy { .. } => Some(HeuristicKind::Energy),
+            HeuristicConfig::ApplicationCentroid { .. } => {
+                Some(HeuristicKind::ApplicationCentroid)
+            }
+        }
+    }
+
+    /// Builds the heuristic, or `None` for the follow-system configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (non-positive thresholds or windows
+    /// smaller than 2); configurations from the provided constructors are
+    /// always valid.
+    pub(crate) fn build(&self) -> Option<Box<dyn UpdateHeuristic + Send>> {
+        match self {
+            HeuristicConfig::FollowSystem => None,
+            HeuristicConfig::System { threshold_ms } => {
+                Some(Box::new(SystemHeuristic::new(*threshold_ms)))
+            }
+            HeuristicConfig::Application { threshold_ms } => {
+                Some(Box::new(ApplicationHeuristic::new(*threshold_ms)))
+            }
+            HeuristicConfig::Relative { threshold, window } => {
+                Some(Box::new(RelativeHeuristic::new(*threshold, *window)))
+            }
+            HeuristicConfig::Energy { threshold, window } => {
+                Some(Box::new(EnergyHeuristic::new(*threshold, *window)))
+            }
+            HeuristicConfig::ApplicationCentroid { threshold_ms, window } => {
+                Some(Box::new(CentroidHeuristic::new(*threshold_ms, *window)))
+            }
+        }
+    }
+}
+
+/// Full configuration of a [`crate::StableNode`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Vivaldi algorithm parameters.
+    pub vivaldi: VivaldiConfig,
+    /// Per-link filter applied to raw observations.
+    pub filter: FilterConfig,
+    /// Application-level update heuristic.
+    pub heuristic: HeuristicConfig,
+    /// Number of samples a link must deliver before the filter output is used
+    /// (§VI warm-up fix). `0` or `1` disables the warm-up.
+    pub warmup_samples: u64,
+}
+
+impl NodeConfig {
+    /// The full paper configuration: 3-D Vivaldi with `c_c = c_e = 0.25`, MP
+    /// filter `h = 4` / `p = 25`, ENERGY heuristic (window 32, τ = 8), no
+    /// warm-up (the paper measures the warm-up fix separately).
+    pub fn paper_defaults() -> Self {
+        NodeConfig {
+            vivaldi: VivaldiConfig::paper_defaults(),
+            filter: FilterConfig::paper_mp(),
+            heuristic: HeuristicConfig::paper_energy(),
+            warmup_samples: 0,
+        }
+    }
+
+    /// The original, unmodified Vivaldi: raw observations, application
+    /// coordinate follows the system coordinate. This is the baseline every
+    /// figure compares against.
+    pub fn original_vivaldi() -> Self {
+        NodeConfig {
+            vivaldi: VivaldiConfig::paper_defaults(),
+            filter: FilterConfig::Raw,
+            heuristic: HeuristicConfig::FollowSystem,
+            warmup_samples: 0,
+        }
+    }
+
+    /// Starts a builder from the paper defaults.
+    pub fn builder() -> NodeConfigBuilder {
+        NodeConfigBuilder {
+            config: Self::paper_defaults(),
+        }
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Builder for [`NodeConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use stable_nc::{FilterConfig, HeuristicConfig, NodeConfig};
+///
+/// let config = NodeConfig::builder()
+///     .filter(FilterConfig::MovingPercentile { history: 8, percentile: 50.0 })
+///     .heuristic(HeuristicConfig::paper_relative())
+///     .warmup_samples(2)
+///     .build();
+/// assert_eq!(config.warmup_samples, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeConfigBuilder {
+    config: NodeConfig,
+}
+
+impl NodeConfigBuilder {
+    /// Sets the Vivaldi parameters.
+    pub fn vivaldi(mut self, vivaldi: VivaldiConfig) -> Self {
+        self.config.vivaldi = vivaldi;
+        self
+    }
+
+    /// Sets the per-link filter.
+    pub fn filter(mut self, filter: FilterConfig) -> Self {
+        self.config.filter = filter;
+        self
+    }
+
+    /// Sets the application-update heuristic.
+    pub fn heuristic(mut self, heuristic: HeuristicConfig) -> Self {
+        self.config.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the per-link warm-up sample count.
+    pub fn warmup_samples(mut self, samples: u64) -> Self {
+        self.config.warmup_samples = samples;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> NodeConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_compose_the_deployment_stack() {
+        let c = NodeConfig::paper_defaults();
+        assert_eq!(c.filter, FilterConfig::paper_mp());
+        assert_eq!(c.heuristic, HeuristicConfig::paper_energy());
+        assert_eq!(c.vivaldi.dimensions(), 3);
+        assert_eq!(c.warmup_samples, 0);
+    }
+
+    #[test]
+    fn original_vivaldi_is_unfiltered_and_follows_system() {
+        let c = NodeConfig::original_vivaldi();
+        assert_eq!(c.filter, FilterConfig::Raw);
+        assert_eq!(c.heuristic, HeuristicConfig::FollowSystem);
+        assert!(c.heuristic.kind().is_none());
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let c = NodeConfig::builder()
+            .filter(FilterConfig::Ewma { alpha: 0.1 })
+            .heuristic(HeuristicConfig::Application { threshold_ms: 16.0 })
+            .warmup_samples(2)
+            .vivaldi(VivaldiConfig::paper_defaults().with_dimensions(2))
+            .build();
+        assert_eq!(c.filter.kind(), nc_filters::FilterKind::Ewma);
+        assert_eq!(c.heuristic.kind(), Some(HeuristicKind::Application));
+        assert_eq!(c.warmup_samples, 2);
+        assert_eq!(c.vivaldi.dimensions(), 2);
+    }
+
+    #[test]
+    fn filter_config_builds_working_filters() {
+        for config in [
+            FilterConfig::Raw,
+            FilterConfig::paper_mp(),
+            FilterConfig::MovingMedian { history: 4 },
+            FilterConfig::Ewma { alpha: 0.2 },
+            FilterConfig::Threshold { cutoff_ms: 500.0 },
+        ] {
+            let mut f = config.build(0);
+            f.observe(42.0);
+            assert_eq!(f.observations_seen(), 1, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn warmup_wrapping_delays_output() {
+        let mut f = FilterConfig::paper_mp().build(3);
+        assert_eq!(f.observe(100.0), None);
+        assert_eq!(f.observe(100.0), None);
+        assert!(f.observe(100.0).is_some());
+    }
+
+    #[test]
+    fn heuristic_config_builds_every_kind() {
+        let configs = [
+            HeuristicConfig::System { threshold_ms: 16.0 },
+            HeuristicConfig::Application { threshold_ms: 16.0 },
+            HeuristicConfig::paper_relative(),
+            HeuristicConfig::paper_energy(),
+            HeuristicConfig::ApplicationCentroid {
+                threshold_ms: 16.0,
+                window: 32,
+            },
+        ];
+        for config in configs {
+            let built = config.build().expect("non-follow configs build a heuristic");
+            assert_eq!(Some(built.kind()), config.kind());
+        }
+        assert!(HeuristicConfig::FollowSystem.build().is_none());
+    }
+}

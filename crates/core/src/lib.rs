@@ -1,0 +1,55 @@
+//! Stable and accurate network coordinates.
+//!
+//! This crate is the paper's contribution assembled behind one API. A
+//! [`StableNode`] is the per-host coordinate subsystem a distributed
+//! application embeds:
+//!
+//! 1. **Per-link moving-percentile filters** (`nc-filters`) turn the raw,
+//!    heavy-tailed stream of latency observations of each neighbour into a
+//!    clean estimate of the link's underlying latency.
+//! 2. **Vivaldi** (`nc-vivaldi`) consumes the filtered estimates and
+//!    maintains the node's *system-level* coordinate, which moves a little
+//!    with every observation.
+//! 3. **An application-update heuristic** (`nc-change`, ENERGY by default)
+//!    watches the stream of system-level coordinates and publishes a new
+//!    *application-level* coordinate only when a statistically significant
+//!    change has occurred, so the embedding application is not disturbed by
+//!    coordinate jitter.
+//!
+//! The defaults reproduce the configuration the paper deploys on PlanetLab
+//! (§VI): a 3-dimensional space, `c_c = c_e = 0.25`, an MP filter with a
+//! four-observation history returning the 25th percentile, and the ENERGY
+//! heuristic with window 32 and threshold 8.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stable_nc::{NodeConfig, StableNode};
+//!
+//! // Two nodes measuring each other at ~80 ms with occasional huge outliers.
+//! let mut a: StableNode<&'static str> = StableNode::new(NodeConfig::paper_defaults());
+//! let mut b: StableNode<&'static str> = StableNode::new(NodeConfig::paper_defaults());
+//!
+//! for round in 0..400 {
+//!     let rtt = if round % 50 == 7 { 2_500.0 } else { 80.0 };
+//!     a.observe("b", b.system_coordinate().clone(), b.error_estimate(), rtt);
+//!     b.observe("a", a.system_coordinate().clone(), a.error_estimate(), rtt);
+//! }
+//!
+//! let estimate = a.estimate_rtt_ms(b.system_coordinate());
+//! assert!((estimate - 80.0).abs() < 15.0, "estimated {estimate:.1} ms");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod node;
+
+pub use config::{FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder};
+pub use node::{NeighborSnapshot, ObservationOutcome, StableNode};
+
+// Re-export the building blocks so downstream users need only one dependency.
+pub use nc_change::{ApplicationUpdate, HeuristicKind};
+pub use nc_filters::FilterKind;
+pub use nc_vivaldi::{Coordinate, VivaldiConfig};

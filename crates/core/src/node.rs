@@ -1,0 +1,455 @@
+//! The per-host coordinate subsystem: filter → Vivaldi → application-level
+//! coordinate.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use nc_change::{ApplicationCoordinate, ApplicationUpdate, UpdateContext};
+use nc_filters::LatencyFilter;
+use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiState};
+
+use crate::config::NodeConfig;
+
+/// What one call to [`StableNode::observe`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationOutcome {
+    /// The filtered latency estimate handed to Vivaldi, or `None` when the
+    /// filter suppressed the observation (warm-up, threshold discard, or an
+    /// invalid sample) and nothing further happened.
+    pub filtered_rtt_ms: Option<f64>,
+    /// Relative error of the pre-update system coordinate against the
+    /// *filtered* observation (the per-node accuracy metric of §II-A).
+    pub relative_error: Option<f64>,
+    /// Relative error of the *application-level* coordinate against the
+    /// filtered observation (the accuracy an application embedding `c_a`
+    /// experiences, §V-B).
+    pub application_relative_error: Option<f64>,
+    /// System-level coordinate displacement caused by this observation
+    /// (milliseconds).
+    pub system_displacement_ms: f64,
+    /// The application-level update published because of this observation,
+    /// if the heuristic decided the change was significant.
+    pub application_update: Option<ApplicationUpdate>,
+}
+
+/// A remote node as last seen by this node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborSnapshot {
+    /// The neighbour's coordinate when we last observed it.
+    pub coordinate: Coordinate,
+    /// The neighbour's error estimate when we last observed it.
+    pub error_estimate: f64,
+    /// The most recent filtered latency estimate for the link (ms).
+    pub filtered_rtt_ms: Option<f64>,
+    /// Number of raw observations of this link.
+    pub observations: u64,
+}
+
+/// The paper's coordinate stack for one host.
+///
+/// `Id` identifies remote peers (an address, an index into a membership list,
+/// a node name in a simulator — anything hashable).
+///
+/// See the [crate-level documentation](crate) for a usage example.
+pub struct StableNode<Id: Eq + Hash + Clone> {
+    config: NodeConfig,
+    vivaldi: VivaldiState,
+    application: ApplicationCoordinate,
+    follow_system: bool,
+    filters: HashMap<Id, Box<dyn LatencyFilter + Send>>,
+    neighbors: HashMap<Id, NeighborSnapshot>,
+    nearest_neighbor: Option<(Id, f64)>,
+    observations: u64,
+}
+
+impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StableNode")
+            .field("system_coordinate", self.vivaldi.coordinate())
+            .field("application_coordinate", self.application.coordinate())
+            .field("error_estimate", &self.vivaldi.error_estimate())
+            .field("neighbors", &self.neighbors.len())
+            .field("observations", &self.observations)
+            .finish()
+    }
+}
+
+impl<Id: Eq + Hash + Clone> StableNode<Id> {
+    /// Creates a node with the given configuration. The node starts at the
+    /// origin with no confidence, exactly like a freshly booted Vivaldi
+    /// participant.
+    pub fn new(config: NodeConfig) -> Self {
+        let vivaldi = VivaldiState::new(config.vivaldi.clone());
+        let initial = vivaldi.coordinate().clone();
+        let (application, follow_system) = match config.heuristic.build() {
+            Some(heuristic) => (ApplicationCoordinate::new(initial, heuristic), false),
+            None => (
+                // A heuristic is still needed as a placeholder; FollowSystem
+                // bypasses it entirely in `observe`.
+                ApplicationCoordinate::new(
+                    initial,
+                    Box::new(nc_change::ApplicationHeuristic::new(f64::MAX / 4.0)),
+                ),
+                true,
+            ),
+        };
+        StableNode {
+            config,
+            vivaldi,
+            application,
+            follow_system,
+            filters: HashMap::new(),
+            neighbors: HashMap::new(),
+            nearest_neighbor: None,
+            observations: 0,
+        }
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The system-level coordinate `c_s` (moves with every observation).
+    pub fn system_coordinate(&self) -> &Coordinate {
+        self.vivaldi.coordinate()
+    }
+
+    /// The application-level coordinate `c_a` (moves only on significant
+    /// change).
+    pub fn application_coordinate(&self) -> &Coordinate {
+        if self.follow_system {
+            self.vivaldi.coordinate()
+        } else {
+            self.application.coordinate()
+        }
+    }
+
+    /// The node's Vivaldi error estimate `w_i` (lower is better).
+    pub fn error_estimate(&self) -> f64 {
+        self.vivaldi.error_estimate()
+    }
+
+    /// The node's confidence `1 − w_i` (the quantity of Figure 6).
+    pub fn confidence(&self) -> f64 {
+        self.vivaldi.confidence()
+    }
+
+    /// Number of raw observations fed to this node.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of application-level updates published so far.
+    pub fn application_update_count(&self) -> u64 {
+        self.application.update_count()
+    }
+
+    /// Total system-level coordinate movement so far (ms).
+    pub fn system_displacement_ms(&self) -> f64 {
+        self.vivaldi.total_displacement_ms()
+    }
+
+    /// Total application-level coordinate movement so far (ms).
+    pub fn application_displacement_ms(&self) -> f64 {
+        if self.follow_system {
+            self.vivaldi.total_displacement_ms()
+        } else {
+            self.application.total_displacement_ms()
+        }
+    }
+
+    /// Predicted round-trip latency from this node to a remote coordinate,
+    /// using the system-level coordinate.
+    pub fn estimate_rtt_ms(&self, remote: &Coordinate) -> f64 {
+        self.vivaldi.estimated_rtt_ms(remote)
+    }
+
+    /// Predicted round-trip latency using the application-level coordinate —
+    /// what an application embedding `c_a` would compute.
+    pub fn application_estimate_rtt_ms(&self, remote: &Coordinate) -> f64 {
+        self.application_coordinate().distance(remote)
+    }
+
+    /// The neighbours this node has observed, with their last-known state.
+    pub fn neighbors(&self) -> impl Iterator<Item = (&Id, &NeighborSnapshot)> {
+        self.neighbors.iter()
+    }
+
+    /// The identifier and last filtered RTT of the (approximately) nearest
+    /// neighbour, learned passively from the observation stream.
+    pub fn nearest_neighbor(&self) -> Option<(&Id, f64)> {
+        self.nearest_neighbor.as_ref().map(|(id, rtt)| (id, *rtt))
+    }
+
+    /// Feeds one raw latency observation of peer `id`.
+    ///
+    /// `remote_coordinate` and `remote_error_estimate` are the values the
+    /// peer attached to its probe reply (its system-level coordinate and
+    /// Vivaldi error estimate); `raw_rtt_ms` is the measured round-trip time.
+    pub fn observe(
+        &mut self,
+        id: Id,
+        remote_coordinate: Coordinate,
+        remote_error_estimate: f64,
+        raw_rtt_ms: f64,
+    ) -> ObservationOutcome {
+        self.observations += 1;
+
+        let filter = self
+            .filters
+            .entry(id.clone())
+            .or_insert_with(|| self.config.filter.build(self.config.warmup_samples));
+        let filtered = filter.observe(raw_rtt_ms);
+        let link_observations = filter.observations_seen();
+        let filtered_estimate = filter.current_estimate();
+
+        // Track the neighbour snapshot regardless of whether the filter let
+        // the sample through: the coordinate and error estimate are still
+        // fresh information.
+        self.neighbors.insert(
+            id.clone(),
+            NeighborSnapshot {
+                coordinate: remote_coordinate.clone(),
+                error_estimate: remote_error_estimate,
+                filtered_rtt_ms: filtered_estimate,
+                observations: link_observations,
+            },
+        );
+
+        let Some(filtered_rtt) = filtered else {
+            return ObservationOutcome {
+                filtered_rtt_ms: None,
+                relative_error: None,
+                application_relative_error: None,
+                system_displacement_ms: 0.0,
+                application_update: None,
+            };
+        };
+
+        // Maintain the approximate nearest neighbour (used by RELATIVE).
+        let is_nearer = match &self.nearest_neighbor {
+            Some((current_id, current_rtt)) => {
+                filtered_rtt < *current_rtt || *current_id == id
+            }
+            None => true,
+        };
+        if is_nearer {
+            self.nearest_neighbor = Some((id.clone(), filtered_rtt));
+        }
+
+        // Application-level accuracy is measured against the observation
+        // *before* any update, like the system-level error.
+        let app_error = nc_vivaldi::relative_error(
+            self.application_coordinate().distance(&remote_coordinate),
+            filtered_rtt,
+        );
+
+        let observation =
+            RemoteObservation::new(remote_coordinate, remote_error_estimate, filtered_rtt);
+        let previous_system = self.vivaldi.coordinate().clone();
+        let outcome = self.vivaldi.observe(&observation);
+        if outcome.rejected {
+            return ObservationOutcome {
+                filtered_rtt_ms: Some(filtered_rtt),
+                relative_error: None,
+                application_relative_error: None,
+                system_displacement_ms: 0.0,
+                application_update: None,
+            };
+        }
+
+        let application_update = if self.follow_system {
+            // The application coordinate *is* the system coordinate, so every
+            // system-level movement is also an application-level change (this
+            // is the "constant update" mode of §V; its instability is what
+            // the heuristics are measured against).
+            if outcome.displacement_ms > 0.0 {
+                Some(ApplicationUpdate {
+                    previous: previous_system,
+                    current: self.vivaldi.coordinate().clone(),
+                    displacement_ms: outcome.displacement_ms,
+                })
+            } else {
+                None
+            }
+        } else {
+            let ctx = UpdateContext {
+                nearest_neighbor: self
+                    .nearest_neighbor
+                    .as_ref()
+                    .and_then(|(nid, _)| self.neighbors.get(nid))
+                    .map(|snapshot| snapshot.coordinate.clone()),
+            };
+            self.application
+                .on_system_update(self.vivaldi.coordinate(), &ctx)
+        };
+
+        ObservationOutcome {
+            filtered_rtt_ms: Some(filtered_rtt),
+            relative_error: Some(outcome.relative_error),
+            application_relative_error: Some(app_error),
+            system_displacement_ms: outcome.displacement_ms,
+            application_update,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeuristicConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type Node = StableNode<u32>;
+
+    fn converge_pair(config: NodeConfig, rtt: f64, rounds: usize) -> (Node, Node) {
+        let mut a = Node::new(config.clone());
+        let mut b = Node::new(config);
+        for _ in 0..rounds {
+            let (bc, be) = (b.system_coordinate().clone(), b.error_estimate());
+            a.observe(1, bc, be, rtt);
+            let (ac, ae) = (a.system_coordinate().clone(), a.error_estimate());
+            b.observe(0, ac, ae, rtt);
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn new_node_starts_at_origin() {
+        let node = Node::new(NodeConfig::paper_defaults());
+        assert_eq!(node.system_coordinate(), &Coordinate::origin(3));
+        assert_eq!(node.application_coordinate(), &Coordinate::origin(3));
+        assert_eq!(node.observations(), 0);
+        assert_eq!(node.confidence(), 0.0);
+    }
+
+    #[test]
+    fn pair_converges_to_link_latency() {
+        let (a, b) = converge_pair(NodeConfig::paper_defaults(), 100.0, 400);
+        let estimate = a.estimate_rtt_ms(b.system_coordinate());
+        assert!((estimate - 100.0).abs() < 15.0, "estimate {estimate}");
+    }
+
+    #[test]
+    fn outliers_do_not_move_filtered_node_much() {
+        // Two stacks fed the same stream with rare enormous outliers: the
+        // MP-filtered node accumulates far less displacement than the raw one.
+        let mut rng = StdRng::seed_from_u64(42);
+        let stream: Vec<f64> = (0..600)
+            .map(|_| {
+                if rng.gen_bool(0.02) {
+                    5_000.0 + rng.gen_range(0.0..20_000.0)
+                } else {
+                    80.0 + rng.gen_range(-5.0..5.0)
+                }
+            })
+            .collect();
+
+        let run = |config: NodeConfig| -> f64 {
+            let mut node = Node::new(config);
+            let remote = Coordinate::new(vec![30.0, 40.0, 0.0]).unwrap();
+            // Skip the first 100 samples as start-up.
+            for (i, &rtt) in stream.iter().enumerate() {
+                node.observe(7, remote.clone(), 0.3, rtt);
+                if i == 100 {
+                    // reset accounting by remembering? keep simple: measure total
+                }
+            }
+            node.system_displacement_ms()
+        };
+
+        let raw = run(NodeConfig::original_vivaldi());
+        let filtered = run(NodeConfig::builder().heuristic(HeuristicConfig::FollowSystem).build());
+        assert!(
+            filtered < raw / 3.0,
+            "filtered displacement {filtered:.0} should be well below raw {raw:.0}"
+        );
+    }
+
+    #[test]
+    fn application_updates_are_rarer_than_observations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = NodeConfig::paper_defaults();
+        let mut node = Node::new(config);
+        let remote = Coordinate::new(vec![50.0, 10.0, 5.0]).unwrap();
+        let mut app_updates = 0;
+        for _ in 0..1000 {
+            let rtt = 70.0 + rng.gen_range(-8.0..8.0);
+            let outcome = node.observe(3, remote.clone(), 0.3, rtt);
+            if outcome.application_update.is_some() {
+                app_updates += 1;
+            }
+        }
+        assert!(app_updates < 100, "got {app_updates} application updates for 1000 observations");
+        assert!(node.application_displacement_ms() <= node.system_displacement_ms());
+    }
+
+    #[test]
+    fn follow_system_keeps_app_equal_to_system() {
+        let config = NodeConfig::builder()
+            .heuristic(HeuristicConfig::FollowSystem)
+            .build();
+        let mut node = Node::new(config);
+        let remote = Coordinate::new(vec![20.0, 0.0, 0.0]).unwrap();
+        for _ in 0..50 {
+            node.observe(1, remote.clone(), 0.5, 40.0);
+            assert_eq!(node.application_coordinate(), node.system_coordinate());
+        }
+        assert_eq!(node.application_displacement_ms(), node.system_displacement_ms());
+    }
+
+    #[test]
+    fn warmup_suppresses_first_sample() {
+        let config = NodeConfig::builder().warmup_samples(2).build();
+        let mut node = Node::new(config);
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let first = node.observe(1, remote.clone(), 0.5, 30_000.0);
+        assert_eq!(first.filtered_rtt_ms, None);
+        assert_eq!(first.system_displacement_ms, 0.0);
+        let second = node.observe(1, remote, 0.5, 80.0);
+        assert!(second.filtered_rtt_ms.is_some());
+    }
+
+    #[test]
+    fn neighbors_and_nearest_are_tracked() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let far = Coordinate::new(vec![100.0, 0.0, 0.0]).unwrap();
+        let near = Coordinate::new(vec![5.0, 0.0, 0.0]).unwrap();
+        node.observe(1, far, 0.5, 150.0);
+        node.observe(2, near, 0.5, 10.0);
+        assert_eq!(node.neighbors().count(), 2);
+        let (nearest, rtt) = node.nearest_neighbor().unwrap();
+        assert_eq!(*nearest, 2);
+        assert!(rtt <= 10.0);
+    }
+
+    #[test]
+    fn invalid_observation_changes_nothing() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let outcome = node.observe(1, remote, 0.5, f64::NAN);
+        assert_eq!(outcome.filtered_rtt_ms, None);
+        assert_eq!(node.system_coordinate(), &Coordinate::origin(3));
+    }
+
+    #[test]
+    fn debug_output_mentions_coordinates() {
+        let node = Node::new(NodeConfig::paper_defaults());
+        let s = format!("{node:?}");
+        assert!(s.contains("StableNode"));
+        assert!(s.contains("system_coordinate"));
+    }
+
+    #[test]
+    fn application_error_is_reported() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![25.0, 0.0, 0.0]).unwrap();
+        let outcome = node.observe(1, remote, 0.5, 50.0);
+        let app_err = outcome.application_relative_error.unwrap();
+        // App coordinate is at the origin, remote at 25 ms, observation 50 ms:
+        // relative error |25 - 50| / 50 = 0.5.
+        assert!((app_err - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 2: histogram of raw latency measurements across the mesh.
+//!
+//! Usage: `cargo run --release --bin fig02_latency_histogram [quick|standard|paper]`
+
+use nc_experiments::fig02::{run, Fig02Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig02 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig02Config::quick(),
+        _ => Fig02Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 3: histogram and time scatter of one representative link.
+//!
+//! Usage: `cargo run --release --bin fig03_single_link [quick|standard|paper]`
+
+use nc_experiments::fig03::{run, Fig03Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig03 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig03Config::quick(),
+        _ => Fig03Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 4: MP-filter prediction error vs history size.
+//!
+//! Usage: `cargo run --release --bin fig04_history_size [quick|standard|paper]`
+
+use nc_experiments::fig04::{run, Fig04Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig04 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig04Config::quick(),
+        _ => Fig04Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

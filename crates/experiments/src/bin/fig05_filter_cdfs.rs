@@ -1,0 +1,17 @@
+//! Figure 5: accuracy and stability with and without the MP filter.
+//!
+//! Usage: `cargo run --release --bin fig05_filter_cdfs [quick|standard|paper]`
+
+use nc_experiments::fig05::{run, Fig05Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig05 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig05Config::quick(),
+        _ => Fig05Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

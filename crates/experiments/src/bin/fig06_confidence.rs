@@ -1,0 +1,12 @@
+//! Figure 6: confidence building on a low-latency cluster.
+//!
+//! Usage: `cargo run --release --bin fig06_confidence [quick|standard|paper]`
+
+use nc_experiments::fig06::{run, Fig06Config};
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig06 at scale '{scale}' ...");
+    let result = run(Fig06Config::for_scale(scale));
+    println!("{}", result.render());
+}

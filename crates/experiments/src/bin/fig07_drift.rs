@@ -1,0 +1,17 @@
+//! Figure 7: coordinate drift of one node per region.
+//!
+//! Usage: `cargo run --release --bin fig07_drift [quick|standard|paper]`
+
+use nc_experiments::fig07::{run, Fig07Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig07 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig07Config::quick(),
+        _ => Fig07Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

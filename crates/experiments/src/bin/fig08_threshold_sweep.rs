@@ -1,0 +1,17 @@
+//! Figure 8: threshold sweep for ENERGY and RELATIVE.
+//!
+//! Usage: `cargo run --release --bin fig08_threshold_sweep [quick|standard|paper]`
+
+use nc_experiments::fig08::{run, Fig08Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig08 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig08Config::quick(),
+        _ => Fig08Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 9: window-size sweep for ENERGY and RELATIVE.
+//!
+//! Usage: `cargo run --release --bin fig09_window_sweep [quick|standard|paper]`
+
+use nc_experiments::fig09::{run, Fig09Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig09 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig09Config::quick(),
+        _ => Fig09Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 10: threshold sweep for all four heuristics.
+//!
+//! Usage: `cargo run --release --bin fig10_heuristics [quick|standard|paper]`
+
+use nc_experiments::fig10::{run, Fig10Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig10 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig10Config::quick(),
+        _ => Fig10Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 11: application-level suppression vs the raw MP filter.
+//!
+//! Usage: `cargo run --release --bin fig11_app_vs_raw [quick|standard|paper]`
+
+use nc_experiments::fig11::{run, Fig11Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig11 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig11Config::quick(),
+        _ => Fig11Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

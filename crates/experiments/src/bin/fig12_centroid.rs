@@ -1,0 +1,17 @@
+//! Figure 12: APPLICATION/CENTROID ablation.
+//!
+//! Usage: `cargo run --release --bin fig12_centroid [quick|standard|paper]`
+
+use nc_experiments::fig12::{run, Fig12Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig12 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig12Config::quick(),
+        _ => Fig12Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

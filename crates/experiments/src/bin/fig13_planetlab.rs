@@ -1,0 +1,17 @@
+//! Figure 13: deployment comparison (headline result).
+//!
+//! Usage: `cargo run --release --bin fig13_planetlab [quick|standard|paper]`
+
+use nc_experiments::fig13::{run, Fig13Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig13 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig13Config::quick(),
+        _ => Fig13Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 14: error and instability over time.
+//!
+//! Usage: `cargo run --release --bin fig14_convergence [quick|standard|paper]`
+
+use nc_experiments::fig14::{run, Fig14Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig14 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig14Config::quick(),
+        _ => Fig14Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Table I: EWMA baselines vs the MP filter.
+//!
+//! Usage: `cargo run --release --bin table1_ewma [quick|standard|paper]`
+
+use nc_experiments::table1::{run, Table1Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running table1 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Table1Config::quick(),
+        _ => Table1Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

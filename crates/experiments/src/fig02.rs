@@ -1,0 +1,145 @@
+//! Figure 2: frequency histogram of raw latency measurements across the
+//! whole mesh.
+//!
+//! The paper's Figure 2 shows the distribution of all 43 million raw samples
+//! of the PlanetLab trace on a log-scale frequency axis, with the key
+//! observation that 0.4 % of measurements exceed one second — far above any
+//! plausible round-trip time — so a coordinate system fed raw samples keeps
+//! being yanked around by outliers.
+
+use nc_stats::Histogram;
+
+use crate::report;
+use crate::workloads::Scale;
+
+/// Configuration of the Figure 2 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig02Config {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Fig02Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig02Config { scale: Scale::Quick }
+    }
+
+    /// Default run for the binary.
+    pub fn standard() -> Self {
+        Fig02Config {
+            scale: Scale::Standard,
+        }
+    }
+}
+
+/// Result of the Figure 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig02Result {
+    /// Histogram over every sample in the generated trace, using the paper's
+    /// bin edges.
+    pub histogram: Histogram,
+    /// Fraction of samples at or above one second.
+    pub fraction_above_1s: f64,
+    /// Total number of samples.
+    pub total_samples: u64,
+}
+
+impl Fig02Result {
+    /// Renders the histogram table and the headline tail fraction.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 2: histogram of raw latency measurements (all links)\n\n");
+        out.push_str("  bin (ms)        count\n");
+        out.push_str(&self.histogram.to_table());
+        out.push_str(&format!(
+            "\ntotal samples: {}\nfraction >= 1s: {:.4}%  (paper: ~0.4%)\n",
+            self.total_samples,
+            self.fraction_above_1s * 100.0
+        ));
+        out.push_str(&format!(
+            "heaviest bin fraction: {}\n",
+            report::fmt(self.heaviest_bin_fraction())
+        ));
+        out
+    }
+
+    /// Fraction of samples in the most populated bin (the common case).
+    pub fn heaviest_bin_fraction(&self) -> f64 {
+        let max = self
+            .histogram
+            .bins()
+            .iter()
+            .map(|b| b.count)
+            .max()
+            .unwrap_or(0);
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            max as f64 / self.total_samples as f64
+        }
+    }
+}
+
+/// Runs the Figure 2 experiment: generate the raw trace and histogram every
+/// observation.
+pub fn run(config: Fig02Config) -> Fig02Result {
+    let mut generator = crate::workloads::trace_generator(config.scale);
+    // Generating a full mesh trace at the configured per-link length would be
+    // enormous; instead sample a representative set of links long enough to
+    // total a few hundred thousand observations at standard scale.
+    let links = config.scale.trace_link_count().max(8);
+    let per_link = (config.scale.trace_samples_per_link() / 4).max(500);
+    let n = generator.topology().len();
+    let mut histogram = Histogram::paper_figure2_bins();
+    let mut total = 0u64;
+    for l in 0..links {
+        let a = l % n;
+        let b = (l * 7 + 1) % n;
+        if a == b {
+            continue;
+        }
+        for record in generator.link_observations(a, b, per_link) {
+            histogram.record(record.rtt_ms);
+            total += 1;
+        }
+    }
+    let fraction_above_1s = histogram.fraction_at_or_above(1000.0);
+    Fig02Result {
+        histogram,
+        fraction_above_1s,
+        total_samples: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_fraction_is_in_the_papers_ballpark() {
+        let result = run(Fig02Config::quick());
+        assert!(result.total_samples > 1_000);
+        assert!(
+            result.fraction_above_1s > 0.0005 && result.fraction_above_1s < 0.03,
+            "fraction above 1 s = {:.4}",
+            result.fraction_above_1s
+        );
+    }
+
+    #[test]
+    fn common_case_dominates() {
+        let result = run(Fig02Config::quick());
+        assert!(
+            result.heaviest_bin_fraction() > 0.3,
+            "one bin should hold the bulk of the samples"
+        );
+    }
+
+    #[test]
+    fn render_contains_headline() {
+        let result = run(Fig02Config::quick());
+        let text = result.render();
+        assert!(text.contains("fraction >= 1s"));
+        assert!(text.contains("Figure 2"));
+    }
+}

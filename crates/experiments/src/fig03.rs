@@ -1,0 +1,197 @@
+//! Figure 3: histogram and time scatter of one representative link.
+//!
+//! The paper zooms into a single PlanetLab link to show that the heavy tail
+//! is not an aggregation artefact: an individual link whose common case is
+//! below 100 ms still produces samples two orders of magnitude larger, and
+//! those spikes keep occurring throughout the three-day trace rather than
+//! clustering in one bad period.
+
+use nc_stats::timeseries::{BinStatistic, TimeBinner};
+use nc_stats::{percentile, Histogram};
+
+use crate::workloads::Scale;
+
+/// Configuration of the Figure 3 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig03Config {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Number of observations of the chosen link.
+    pub samples: usize,
+}
+
+impl Fig03Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig03Config {
+            scale: Scale::Quick,
+            samples: 5_000,
+        }
+    }
+
+    /// Default run for the binary.
+    pub fn standard() -> Self {
+        Fig03Config {
+            scale: Scale::Standard,
+            samples: 100_000,
+        }
+    }
+}
+
+/// One time bin of the scatter summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterBin {
+    /// Start of the bin in hours.
+    pub start_hours: f64,
+    /// Median observation in the bin (ms).
+    pub median_ms: f64,
+    /// Maximum observation in the bin (ms).
+    pub max_ms: f64,
+}
+
+/// Result of the Figure 3 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig03Result {
+    /// The two endpoints of the chosen link.
+    pub link: (usize, usize),
+    /// Base RTT of the link (ground truth, ms).
+    pub base_rtt_ms: f64,
+    /// Histogram of the link's observations with the paper's 200 ms bins.
+    pub histogram: Histogram,
+    /// Median of all observations.
+    pub median_ms: f64,
+    /// Maximum observation.
+    pub max_ms: f64,
+    /// Hour-by-hour summary of the observation stream (the textual analogue
+    /// of the scatter plot).
+    pub scatter: Vec<ScatterBin>,
+}
+
+impl Fig03Result {
+    /// Renders the histogram and the per-hour scatter summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 3: one link ({} -> {}), base RTT {:.1} ms\n\nhistogram (200 ms bins):\n{}\n",
+            self.link.0,
+            self.link.1,
+            self.base_rtt_ms,
+            self.histogram.to_table()
+        );
+        out.push_str(&format!(
+            "median {:.1} ms, max {:.1} ms (x{:.0} the median)\n\n",
+            self.median_ms,
+            self.max_ms,
+            self.max_ms / self.median_ms.max(0.001)
+        ));
+        out.push_str("per-hour summary (median / max ms):\n");
+        for bin in &self.scatter {
+            out.push_str(&format!(
+                "  hour {:5.1}: median {:8.1}  max {:10.1}\n",
+                bin.start_hours, bin.median_ms, bin.max_ms
+            ));
+        }
+        out
+    }
+
+    /// Number of hour bins whose maximum exceeds five times the overall
+    /// median — evidence the spikes are spread over time rather than
+    /// clustered.
+    pub fn hours_with_spikes(&self) -> usize {
+        self.scatter
+            .iter()
+            .filter(|b| b.max_ms > 5.0 * self.median_ms)
+            .count()
+    }
+}
+
+/// Runs the Figure 3 experiment on a representative (sub-100 ms common case)
+/// link.
+pub fn run(config: Fig03Config) -> Fig03Result {
+    let mut generator = crate::workloads::trace_generator(config.scale);
+    // Pick the link whose base RTT is closest to 70 ms — the representative
+    // case in the paper (a busy but ordinary wide-area link).
+    let n = generator.topology().len();
+    let mut best = (0usize, 1usize);
+    let mut best_gap = f64::INFINITY;
+    for a in 0..n.min(24) {
+        for b in (a + 1)..n.min(24) {
+            let base = generator.topology().base_rtt_ms(a, b);
+            let gap = (base - 70.0).abs();
+            if gap < best_gap {
+                best_gap = gap;
+                best = (a, b);
+            }
+        }
+    }
+    let base_rtt_ms = generator.topology().base_rtt_ms(best.0, best.1);
+    let records = generator.link_observations(best.0, best.1, config.samples);
+    let values: Vec<f64> = records.iter().map(|r| r.rtt_ms).collect();
+
+    let mut histogram = Histogram::paper_figure3_bins();
+    histogram.record_all(values.iter().cloned());
+
+    let median_ms = percentile(&values, 50.0).expect("non-empty observations");
+    let max_ms = values.iter().cloned().fold(0.0, f64::max);
+
+    let mut binner = TimeBinner::new(0.0, 3600.0).expect("positive width");
+    for r in &records {
+        binner.record(r.time_s, r.rtt_ms);
+    }
+    let medians = binner.bins(BinStatistic::Median);
+    let maxes = binner.bins(BinStatistic::Percentile(100));
+    let scatter = medians
+        .iter()
+        .zip(maxes.iter())
+        .filter_map(|(m, x)| match (m.value, x.value) {
+            (Some(median), Some(max)) => Some(ScatterBin {
+                start_hours: m.start / 3600.0,
+                median_ms: median,
+                max_ms: max,
+            }),
+            _ => None,
+        })
+        .collect();
+
+    Fig03Result {
+        link: best,
+        base_rtt_ms,
+        histogram,
+        median_ms,
+        max_ms,
+        scatter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_link_has_low_common_case_and_big_spikes() {
+        let result = run(Fig03Config::quick());
+        assert!(result.median_ms < 150.0, "median {}", result.median_ms);
+        assert!(
+            result.max_ms > 5.0 * result.median_ms,
+            "spikes should be an order of magnitude above the median"
+        );
+    }
+
+    #[test]
+    fn spikes_are_spread_over_time() {
+        let mut config = Fig03Config::quick();
+        config.samples = 8_000; // a bit over two hours at 1 s
+        let result = run(config);
+        assert!(result.scatter.len() >= 2);
+        assert!(
+            result.hours_with_spikes() >= 1,
+            "at least one hour bin should contain a spike"
+        );
+    }
+
+    #[test]
+    fn render_mentions_the_link() {
+        let result = run(Fig03Config::quick());
+        assert!(result.render().contains("Figure 3"));
+        assert!(result.render().contains("per-hour summary"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 4: predictive power of the moving-percentile filter versus history
+//! size.
+//!
+//! For every link the filter is replayed over the observation sequence: at
+//! each step the filter's current output is the *prediction* of the next
+//! observation, and the relative error between the two is recorded. The
+//! paper summarises each link by the 95th percentile of those errors and
+//! shows the distribution across links as a box-plot for each history size
+//! (1–128, percentile fixed at 25), concluding that a short history of four
+//! observations predicts best.
+
+use nc_filters::{LatencyFilter, MovingPercentileFilter};
+use nc_stats::{percentile, BoxplotSummary};
+use nc_vivaldi::relative_error;
+
+use crate::workloads::Scale;
+
+/// Configuration of the Figure 4 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig04Config {
+    /// Workload scale.
+    pub scale: Scale,
+    /// History sizes to sweep.
+    pub history_sizes: Vec<usize>,
+    /// Percentile used by the filter (the paper keeps p = 25).
+    pub percentile: f64,
+    /// Number of links sampled.
+    pub links: usize,
+    /// Observations per link.
+    pub samples_per_link: usize,
+}
+
+impl Fig04Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig04Config {
+            scale: Scale::Quick,
+            history_sizes: vec![1, 2, 4, 8, 16],
+            percentile: 25.0,
+            links: 10,
+            samples_per_link: 1_500,
+        }
+    }
+
+    /// Default run for the binary: the paper's full sweep 1–128.
+    pub fn standard() -> Self {
+        Fig04Config {
+            scale: Scale::Standard,
+            history_sizes: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            percentile: 25.0,
+            links: 40,
+            samples_per_link: 20_000,
+        }
+    }
+}
+
+/// Result of the Figure 4 experiment: one box-plot per history size over the
+/// per-link 95th-percentile prediction errors.
+#[derive(Debug, Clone)]
+pub struct Fig04Result {
+    /// `(history_size, boxplot over links)` in sweep order.
+    pub per_history: Vec<(usize, BoxplotSummary)>,
+}
+
+impl Fig04Result {
+    /// The history size with the lowest median per-link error.
+    pub fn best_history(&self) -> usize {
+        self.per_history
+            .iter()
+            .min_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("finite medians"))
+            .map(|(h, _)| *h)
+            .expect("at least one history size")
+    }
+
+    /// Median per-link 95th-percentile error for a given history size.
+    pub fn median_for(&self, history: usize) -> Option<f64> {
+        self.per_history
+            .iter()
+            .find(|(h, _)| *h == history)
+            .map(|(_, b)| b.median)
+    }
+
+    /// Renders the box-plot table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 4: per-link 95th-percentile prediction error vs MP history size (p=25)\n\n",
+        );
+        for (h, summary) in &self.per_history {
+            out.push_str(&format!("h={h:<4} {}\n", summary.to_row()));
+        }
+        out.push_str(&format!("\nbest history size: {}\n", self.best_history()));
+        out
+    }
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(config: Fig04Config) -> Fig04Result {
+    let mut generator = crate::workloads::trace_generator(config.scale);
+    let n = generator.topology().len();
+
+    // Gather per-link observation sequences once, reuse for every history
+    // size so all sweep points see identical data.
+    let mut link_series: Vec<Vec<f64>> = Vec::with_capacity(config.links);
+    for l in 0..config.links {
+        let a = (l * 3) % n;
+        let b = (l * 3 + 1 + l % 5) % n;
+        if a == b {
+            continue;
+        }
+        let series: Vec<f64> = generator
+            .link_observations(a, b, config.samples_per_link)
+            .into_iter()
+            .map(|r| r.rtt_ms)
+            .collect();
+        link_series.push(series);
+    }
+
+    let mut per_history = Vec::with_capacity(config.history_sizes.len());
+    for &h in &config.history_sizes {
+        let mut per_link_p95 = Vec::with_capacity(link_series.len());
+        for series in &link_series {
+            let mut filter =
+                MovingPercentileFilter::new(h, config.percentile).expect("valid parameters");
+            let mut errors = Vec::with_capacity(series.len());
+            for &observation in series {
+                if let Some(prediction) = filter.current_estimate() {
+                    errors.push(relative_error(prediction, observation));
+                }
+                filter.observe(observation);
+            }
+            if let Ok(p95) = percentile(&errors, 95.0) {
+                per_link_p95.push(p95);
+            }
+        }
+        let summary = BoxplotSummary::from_samples(&per_link_p95)
+            .expect("every history size has per-link samples");
+        per_history.push((h, summary));
+    }
+
+    Fig04Result { per_history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_histories_beat_no_history() {
+        let result = run(Fig04Config::quick());
+        let h1 = result.median_for(1).unwrap();
+        let h4 = result.median_for(4).unwrap();
+        assert!(
+            h4 < h1,
+            "a 4-sample history (median {h4:.3}) should predict better than the last sample alone ({h1:.3})"
+        );
+    }
+
+    #[test]
+    fn best_history_is_short() {
+        let result = run(Fig04Config::quick());
+        let best = result.best_history();
+        assert!(
+            (2..=16).contains(&best),
+            "the paper finds short histories best; got {best}"
+        );
+    }
+
+    #[test]
+    fn every_history_size_has_a_boxplot() {
+        let config = Fig04Config::quick();
+        let expected = config.history_sizes.len();
+        let result = run(config);
+        assert_eq!(result.per_history.len(), expected);
+        assert!(result.render().contains("best history size"));
+    }
+}

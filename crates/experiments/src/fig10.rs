@@ -1,0 +1,169 @@
+//! Figure 10: all four heuristics versus their update threshold.
+//!
+//! The window-less heuristics (SYSTEM and APPLICATION) can only trade
+//! accuracy for stability: a low threshold behaves like the raw filter, a
+//! high one starves the application of updates and error climbs. The
+//! window-based heuristics (ENERGY, RELATIVE) keep error low across the whole
+//! threshold range, which is the paper's argument for paying their extra
+//! complexity and state.
+
+use stable_nc::{HeuristicConfig, NodeConfig};
+
+use crate::sweeps::{family_points, render_sweep, run_sweep, SweepPoint};
+use crate::workloads::Scale;
+
+/// Configuration of the Figure 10 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Config {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Millisecond thresholds swept for SYSTEM, APPLICATION and ENERGY.
+    pub ms_thresholds: Vec<f64>,
+    /// Thresholds swept for RELATIVE (fractions of the locale distance).
+    pub relative_thresholds: Vec<f64>,
+    /// Window size of the window-based heuristics.
+    pub window: usize,
+}
+
+impl Fig10Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig10Config {
+            scale: Scale::Quick,
+            ms_thresholds: vec![1.0, 16.0, 128.0],
+            relative_thresholds: vec![0.1, 0.3, 0.8],
+            window: 16,
+        }
+    }
+
+    /// Default run for the binary: the paper's ranges.
+    pub fn standard() -> Self {
+        Fig10Config {
+            scale: Scale::Standard,
+            ms_thresholds: vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+            relative_thresholds: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            window: 32,
+        }
+    }
+}
+
+/// Result of the Figure 10 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// One point per `(heuristic, threshold)` pair.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Fig10Result {
+    /// Points of one heuristic family ordered by threshold.
+    pub fn family(&self, family: &str) -> Vec<&SweepPoint> {
+        family_points(&self.points, family)
+    }
+
+    /// Worst (largest) application-level median relative error across the
+    /// family's sweep — the quantity that explodes for the window-less
+    /// heuristics at large thresholds.
+    pub fn worst_error(&self, family: &str) -> f64 {
+        self.family(family)
+            .iter()
+            .map(|p| p.median_relative_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        render_sweep(
+            "Figure 10: threshold sweep for all four heuristics",
+            &self.points,
+        )
+    }
+}
+
+/// Runs the Figure 10 experiment.
+pub fn run(config: Fig10Config) -> Fig10Result {
+    let mut entries = Vec::new();
+    for &threshold in &config.ms_thresholds {
+        entries.push((
+            "SYSTEM".to_string(),
+            threshold,
+            NodeConfig::builder()
+                .heuristic(HeuristicConfig::System {
+                    threshold_ms: threshold,
+                })
+                .build(),
+        ));
+        entries.push((
+            "APPLICATION".to_string(),
+            threshold,
+            NodeConfig::builder()
+                .heuristic(HeuristicConfig::Application {
+                    threshold_ms: threshold,
+                })
+                .build(),
+        ));
+        entries.push((
+            "ENERGY".to_string(),
+            threshold,
+            NodeConfig::builder()
+                .heuristic(HeuristicConfig::Energy {
+                    threshold,
+                    window: config.window,
+                })
+                .build(),
+        ));
+    }
+    for &threshold in &config.relative_thresholds {
+        entries.push((
+            "RELATIVE".to_string(),
+            threshold,
+            NodeConfig::builder()
+                .heuristic(HeuristicConfig::Relative {
+                    threshold,
+                    window: config.window,
+                })
+                .build(),
+        ));
+    }
+    Fig10Result {
+        points: run_sweep(config.scale, entries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_families_are_present() {
+        let result = run(Fig10Config::quick());
+        for family in ["SYSTEM", "APPLICATION", "ENERGY", "RELATIVE"] {
+            assert!(
+                !result.family(family).is_empty(),
+                "missing sweep points for {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_based_heuristics_hold_accuracy_at_large_thresholds() {
+        let result = run(Fig10Config::quick());
+        // At the largest millisecond threshold, the APPLICATION heuristic has
+        // effectively stopped updating, so its error should be at least as
+        // bad as ENERGY's (which keeps publishing window centroids).
+        let application_worst = result.worst_error("APPLICATION");
+        let energy_worst = result.worst_error("ENERGY");
+        assert!(
+            energy_worst <= application_worst + 0.05,
+            "ENERGY worst error {energy_worst:.3} should not exceed APPLICATION's {application_worst:.3}"
+        );
+    }
+
+    #[test]
+    fn render_contains_every_family() {
+        let result = run(Fig10Config::quick());
+        let text = result.render();
+        for family in ["SYSTEM", "APPLICATION", "ENERGY", "RELATIVE"] {
+            assert!(text.contains(family));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Figure 11: application-level suppression versus the raw MP filter.
+//!
+//! With the parameters chosen in the sweeps (window 32, ENERGY τ = 8,
+//! RELATIVE ε_r = 0.3), the paper shows CDFs over nodes of median relative
+//! error and instability for ENERGY+MP and RELATIVE+MP against the raw MP
+//! filter: accuracy is essentially unchanged while the whole instability
+//! distribution shifts into a far more stable regime.
+
+use nc_netsim::metrics::ConfigMetrics;
+use nc_stats::Ecdf;
+use stable_nc::{FilterConfig, HeuristicConfig, NodeConfig};
+
+use crate::report::render_cdf;
+use crate::workloads::{coordinate_simulator, Scale};
+
+/// Configuration of the Figure 11 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig11Config {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Fig11Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig11Config { scale: Scale::Quick }
+    }
+
+    /// Default run for the binary.
+    pub fn standard() -> Self {
+        Fig11Config {
+            scale: Scale::Standard,
+        }
+    }
+}
+
+/// Result of the Figure 11 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// ENERGY + MP filter.
+    pub energy: ConfigMetrics,
+    /// RELATIVE + MP filter.
+    pub relative: ConfigMetrics,
+    /// Raw MP filter (application coordinate follows the system coordinate).
+    pub raw_mp: ConfigMetrics,
+}
+
+impl Fig11Result {
+    /// Renders the two CDF panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 11: application-level suppression vs the raw MP filter\n\n");
+        let configs = [
+            ("Energy+MP Filter", &self.energy),
+            ("Relative+MP Filter", &self.relative),
+            ("Raw MP Filter", &self.raw_mp),
+        ];
+        for (name, metrics) in configs {
+            if let Ok(cdf) = Ecdf::new(metrics.application_median_relative_errors()) {
+                out.push_str(&render_cdf(&format!("median relative error — {name}"), &cdf, 10));
+            }
+        }
+        out.push('\n');
+        for (name, metrics) in configs {
+            if let Ok(cdf) = Ecdf::new(metrics.per_node_application_instability()) {
+                out.push_str(&render_cdf(&format!("instability (ms/s) — {name}"), &cdf, 10));
+            }
+        }
+        out.push_str(&format!(
+            "\naggregate application-level instability: energy {:.2}, relative {:.2}, raw MP {:.2} ms/s\n",
+            self.energy.aggregate_application_instability(),
+            self.relative.aggregate_application_instability(),
+            self.raw_mp.aggregate_application_instability()
+        ));
+        out
+    }
+}
+
+/// Runs the Figure 11 experiment.
+pub fn run(config: Fig11Config) -> Fig11Result {
+    let configs = vec![
+        (
+            "energy".to_string(),
+            NodeConfig::builder()
+                .filter(FilterConfig::paper_mp())
+                .heuristic(HeuristicConfig::paper_energy())
+                .build(),
+        ),
+        (
+            "relative".to_string(),
+            NodeConfig::builder()
+                .filter(FilterConfig::paper_mp())
+                .heuristic(HeuristicConfig::paper_relative())
+                .build(),
+        ),
+        (
+            "raw-mp".to_string(),
+            NodeConfig::builder()
+                .filter(FilterConfig::paper_mp())
+                .heuristic(HeuristicConfig::FollowSystem)
+                .build(),
+        ),
+    ];
+    let report = coordinate_simulator(config.scale, configs).run();
+    Fig11Result {
+        energy: report.config("energy").expect("energy ran").clone(),
+        relative: report.config("relative").expect("relative ran").clone(),
+        raw_mp: report.config("raw-mp").expect("raw-mp ran").clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_heuristics_are_far_more_stable_than_raw_mp() {
+        let result = run(Fig11Config::quick());
+        let raw = result.raw_mp.aggregate_application_instability();
+        for (name, metrics) in [("energy", &result.energy), ("relative", &result.relative)] {
+            let suppressed = metrics.aggregate_application_instability();
+            assert!(
+                suppressed < raw,
+                "{name} instability {suppressed:.2} should be below raw MP {raw:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_stays_in_the_same_regime() {
+        let result = run(Fig11Config::quick());
+        let raw = result.raw_mp.median_of_application_median_relative_error();
+        let energy = result.energy.median_of_application_median_relative_error();
+        assert!(
+            energy < raw * 3.0 + 0.2,
+            "application-level error with ENERGY ({energy:.3}) should stay in the same regime as raw MP ({raw:.3})"
+        );
+    }
+
+    #[test]
+    fn render_contains_all_three_configs() {
+        let result = run(Fig11Config::quick());
+        let text = result.render();
+        assert!(text.contains("Energy+MP Filter"));
+        assert!(text.contains("Relative+MP Filter"));
+        assert!(text.contains("Raw MP Filter"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 12: the APPLICATION/CENTROID ablation.
+//!
+//! Could a simple threshold heuristic match the window-based ones if it only
+//! borrowed their centroid target? The paper modifies APPLICATION to publish
+//! the centroid of the last 32 system coordinates and sweeps its threshold:
+//! the combination is more stable than plain APPLICATION or SYSTEM but, like
+//! all window-less triggers, it is not robust to the threshold choice —
+//! accuracy collapses once the threshold grows past the sweet spot. Knowing
+//! *when* to update (the change-detection part) is what the windows buy.
+
+use stable_nc::{HeuristicConfig, NodeConfig};
+
+use crate::sweeps::{family_points, render_sweep, run_sweep, SweepPoint};
+use crate::workloads::Scale;
+
+/// Configuration of the Figure 12 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Config {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Millisecond thresholds to sweep.
+    pub thresholds: Vec<f64>,
+    /// Sliding-window size used for the centroid target.
+    pub window: usize,
+}
+
+impl Fig12Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig12Config {
+            scale: Scale::Quick,
+            thresholds: vec![1.0, 16.0, 256.0],
+            window: 16,
+        }
+    }
+
+    /// Default run for the binary: the paper's range with window 32.
+    pub fn standard() -> Self {
+        Fig12Config {
+            scale: Scale::Standard,
+            thresholds: vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+            window: 32,
+        }
+    }
+}
+
+/// Result of the Figure 12 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// One point per threshold, plus the ENERGY reference at its paper
+    /// defaults for comparison.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Fig12Result {
+    /// Points of the APPLICATION/CENTROID family ordered by threshold.
+    pub fn centroid_points(&self) -> Vec<&SweepPoint> {
+        family_points(&self.points, "APPLICATION/CENTROID")
+    }
+
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        render_sweep(
+            "Figure 12: APPLICATION/CENTROID threshold sweep (ENERGY reference included)",
+            &self.points,
+        )
+    }
+}
+
+/// Runs the Figure 12 experiment.
+pub fn run(config: Fig12Config) -> Fig12Result {
+    let mut entries: Vec<(String, f64, NodeConfig)> = config
+        .thresholds
+        .iter()
+        .map(|&threshold_ms| {
+            (
+                "APPLICATION/CENTROID".to_string(),
+                threshold_ms,
+                NodeConfig::builder()
+                    .heuristic(HeuristicConfig::ApplicationCentroid {
+                        threshold_ms,
+                        window: config.window,
+                    })
+                    .build(),
+            )
+        })
+        .collect();
+    entries.push((
+        "ENERGY".to_string(),
+        8.0,
+        NodeConfig::builder()
+            .heuristic(HeuristicConfig::Energy {
+                threshold: 8.0,
+                window: config.window,
+            })
+            .build(),
+    ));
+    Fig12Result {
+        points: run_sweep(config.scale, entries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_rises_with_threshold() {
+        let result = run(Fig12Config::quick());
+        let points = result.centroid_points();
+        assert!(points.len() >= 3);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            last.instability <= first.instability + 1e-9,
+            "instability should fall as the threshold grows ({:.2} -> {:.2})",
+            first.instability,
+            last.instability
+        );
+    }
+
+    #[test]
+    fn large_thresholds_cost_accuracy() {
+        let result = run(Fig12Config::quick());
+        let points = result.centroid_points();
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            last.median_relative_error >= first.median_relative_error - 0.02,
+            "error should not improve when updates are starved ({:.3} -> {:.3})",
+            first.median_relative_error,
+            last.median_relative_error
+        );
+    }
+
+    #[test]
+    fn render_includes_energy_reference() {
+        let result = run(Fig12Config::quick());
+        assert!(result.render().contains("ENERGY"));
+        assert!(result.render().contains("APPLICATION/CENTROID"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 13: the PlanetLab deployment comparison — the paper's headline
+//! result.
+//!
+//! Four configurations run side by side on the deployment workload:
+//! {MP filter, no filter} × {ENERGY application updates, raw application
+//! coordinate}. The paper reports CDFs over nodes of the 95th-percentile
+//! relative error and of instability, and summarises: the enhancements
+//! combine to reduce the median of the 95th-percentile relative error by
+//! 54 % and instability by 96 % compared to the original algorithm.
+
+use nc_netsim::metrics::{ConfigMetrics, SimReport};
+use nc_stats::Ecdf;
+
+use crate::report::render_cdf;
+use crate::workloads::{coordinate_simulator, deployment_configs, Scale};
+
+/// Configuration of the Figure 13 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Config {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Fig13Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Fig13Config { scale: Scale::Quick }
+    }
+
+    /// Default run for the binary.
+    pub fn standard() -> Self {
+        Fig13Config {
+            scale: Scale::Standard,
+        }
+    }
+}
+
+/// Result of the Figure 13 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// The underlying simulation report with all four configurations.
+    pub report: SimReport,
+}
+
+impl Fig13Result {
+    /// Metrics of one of the four configurations (`energy+mp`, `raw-mp`,
+    /// `energy+nofilter`, `raw-nofilter`).
+    pub fn config(&self, name: &str) -> &ConfigMetrics {
+        self.report.config(name).expect("all four configurations ran")
+    }
+
+    /// Median over nodes of the per-node 95th-percentile application-level
+    /// relative error for a configuration.
+    pub fn median_p95_error(&self, name: &str) -> f64 {
+        self.config(name).median_of_application_p95_relative_error()
+    }
+
+    /// Aggregate application-level instability of a configuration.
+    pub fn instability(&self, name: &str) -> f64 {
+        self.config(name).aggregate_application_instability()
+    }
+
+    /// Percentage reduction in the median 95th-percentile relative error of
+    /// the fully enhanced stack relative to the original algorithm (the
+    /// paper reports 54 %).
+    pub fn error_reduction_percent(&self) -> f64 {
+        let enhanced = self.median_p95_error("energy+mp");
+        let original = self.median_p95_error("raw-nofilter");
+        if original <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - enhanced / original) * 100.0
+    }
+
+    /// Percentage reduction in instability of the fully enhanced stack
+    /// relative to the original algorithm (the paper reports 96 %).
+    pub fn instability_reduction_percent(&self) -> f64 {
+        let enhanced = self.instability("energy+mp");
+        let original = self.instability("raw-nofilter");
+        if original <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - enhanced / original) * 100.0
+    }
+
+    /// Renders the CDF panels and the headline reductions.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 13: deployment comparison (second half of the run)\n\n");
+        let names = [
+            ("Energy+MP Filter", "energy+mp"),
+            ("Raw MP Filter", "raw-mp"),
+            ("Energy+No Filter", "energy+nofilter"),
+            ("Raw No Filter", "raw-nofilter"),
+        ];
+        for (label, name) in names {
+            if let Ok(cdf) = Ecdf::new(self.config(name).application_p95_relative_errors()) {
+                out.push_str(&render_cdf(
+                    &format!("95th percentile relative error — {label}"),
+                    &cdf,
+                    10,
+                ));
+            }
+        }
+        out.push('\n');
+        for (label, name) in names {
+            if let Ok(cdf) = Ecdf::new(self.config(name).per_node_application_instability()) {
+                out.push_str(&render_cdf(&format!("instability (ms/s) — {label}"), &cdf, 10));
+            }
+        }
+        out.push_str(&format!(
+            "\nheadline: median 95th-pct relative error reduced by {:.0}% (paper: 54%), \
+             instability reduced by {:.0}% (paper: 96%)\n",
+            self.error_reduction_percent(),
+            self.instability_reduction_percent()
+        ));
+        out
+    }
+}
+
+/// Runs the Figure 13 experiment.
+pub fn run(config: Fig13Config) -> Fig13Result {
+    let report = coordinate_simulator(config.scale, deployment_configs()).run();
+    Fig13Result { report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enhanced_stack_beats_the_original_on_both_metrics() {
+        let result = run(Fig13Config::quick());
+        assert!(
+            result.median_p95_error("energy+mp") < result.median_p95_error("raw-nofilter"),
+            "error: enhanced {:.3} vs original {:.3}",
+            result.median_p95_error("energy+mp"),
+            result.median_p95_error("raw-nofilter")
+        );
+        assert!(
+            result.instability("energy+mp") < result.instability("raw-nofilter"),
+            "instability: enhanced {:.1} vs original {:.1}",
+            result.instability("energy+mp"),
+            result.instability("raw-nofilter")
+        );
+    }
+
+    #[test]
+    fn reductions_are_substantial() {
+        let result = run(Fig13Config::quick());
+        assert!(
+            result.error_reduction_percent() > 20.0,
+            "error reduction {:.0}%",
+            result.error_reduction_percent()
+        );
+        assert!(
+            result.instability_reduction_percent() > 50.0,
+            "instability reduction {:.0}%",
+            result.instability_reduction_percent()
+        );
+    }
+
+    #[test]
+    fn both_enhancements_contribute() {
+        let result = run(Fig13Config::quick());
+        // The filter alone improves stability over the original…
+        assert!(result.instability("raw-mp") < result.instability("raw-nofilter"));
+        // …and adding ENERGY on top of the filter improves it further.
+        assert!(result.instability("energy+mp") < result.instability("raw-mp"));
+    }
+
+    #[test]
+    fn render_contains_headline() {
+        let result = run(Fig13Config::quick());
+        assert!(result.render().contains("headline"));
+        assert!(result.render().contains("Raw No Filter"));
+    }
+}

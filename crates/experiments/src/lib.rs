@@ -1,0 +1,75 @@
+//! Experiment harness reproducing every table and figure of *Stable and
+//! Accurate Network Coordinates* (Ledlie & Seltzer).
+//!
+//! Each `figXX` module corresponds to one figure (plus [`table1`] for
+//! Table I). A module exposes:
+//!
+//! * a configuration struct with `quick()` (seconds, used by the test suite),
+//!   `standard()` (a few minutes, the default for the binaries) and, where it
+//!   differs, `paper()` (full paper scale) presets;
+//! * a `run(config)` function returning a typed result;
+//! * a `render()` method on the result producing the textual table / series
+//!   the paper's figure shows.
+//!
+//! The `src/bin/` directory contains one binary per experiment
+//! (`fig02_latency_histogram`, …, `fig14_convergence`, plus `run_all`), each a
+//! thin wrapper that parses the scale argument, runs the experiment and
+//! prints the rendered result.
+//!
+//! The mapping from figures to modules, workloads and expected qualitative
+//! outcomes is catalogued in the repository's `DESIGN.md` and the measured
+//! numbers are recorded in `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod report;
+pub mod sweeps;
+pub mod table1;
+pub mod workloads;
+
+pub use workloads::Scale;
+
+/// Parses the experiment scale from the process arguments: the first
+/// positional argument may be `quick`, `standard` or `paper` (default
+/// `standard`). Unknown values fall back to `standard` with a note on
+/// stderr.
+pub fn scale_from_args() -> Scale {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "standard".to_string());
+    match arg.as_str() {
+        "quick" => Scale::Quick,
+        "standard" => Scale::Standard,
+        "paper" => Scale::Paper,
+        other => {
+            eprintln!("unknown scale '{other}', using 'standard' (choices: quick, standard, paper)");
+            Scale::Standard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_standard() {
+        // scale_from_args reads argv; in the test harness the first argument
+        // is the test filter (absent), so it falls back to standard or parses
+        // whatever cargo passed — either way it must not panic.
+        let _ = scale_from_args();
+        assert_eq!(Scale::Standard, Scale::Standard);
+    }
+}

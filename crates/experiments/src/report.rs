@@ -1,0 +1,128 @@
+//! Textual rendering of experiment results.
+//!
+//! The figures are regenerated as aligned text tables and `(x, y)` series —
+//! the numbers a plotting script would consume — rather than as images, so
+//! that `cargo run --bin figXX` output can be compared directly against the
+//! paper's plots.
+
+use nc_stats::Ecdf;
+
+/// Formats an aligned table from a header row and data rows. Every row must
+/// have the same number of cells as the header.
+///
+/// # Panics
+///
+/// Panics when a row's cell count differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{cell:>width$}", width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an empirical CDF as `value fraction` rows at `points` evenly
+/// spaced cumulative fractions, with a caption line.
+pub fn render_cdf(caption: &str, cdf: &Ecdf, points: usize) -> String {
+    let mut out = format!("# CDF: {caption} (n={})\n", cdf.len());
+    for (value, fraction) in cdf.sampled_points(points) {
+        out.push_str(&format!("{value:12.4}  {fraction:6.3}\n"));
+    }
+    out
+}
+
+/// Formats a float with sensible precision for tables (three decimals below
+/// 10, one decimal otherwise).
+pub fn fmt(value: f64) -> String {
+    if !value.is_finite() {
+        "-".to_string()
+    } else if value.abs() < 10.0 {
+        format!("{value:.3}")
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+/// Formats a percentage change relative to a baseline, e.g. `-42%`.
+pub fn fmt_change(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 || !value.is_finite() || !baseline.is_finite() {
+        return "-".to_string();
+    }
+    let pct = (value - baseline) / baseline * 100.0;
+    format!("{pct:+.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let table = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.0".to_string()],
+                vec!["long-name".to_string(), "2.5".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match header width")]
+    fn mismatched_row_panics() {
+        let _ = format_table(&["a", "b"], &[vec!["only-one".to_string()]]);
+    }
+
+    #[test]
+    fn cdf_rendering_has_requested_points() {
+        let cdf = Ecdf::new((1..=100).map(|i| i as f64).collect()).unwrap();
+        let rendered = render_cdf("test", &cdf, 10);
+        assert_eq!(rendered.lines().count(), 11);
+        assert!(rendered.starts_with("# CDF: test"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(415.2), "415.2");
+        assert_eq!(fmt(f64::NAN), "-");
+        assert_eq!(fmt_change(58.0, 100.0), "-42%");
+        assert_eq!(fmt_change(200.0, 100.0), "+100%");
+        assert_eq!(fmt_change(1.0, 0.0), "-");
+    }
+}

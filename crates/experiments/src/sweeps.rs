@@ -1,0 +1,128 @@
+//! Shared machinery for the heuristic parameter sweeps (Figures 8–10, 12).
+//!
+//! Every sweep compares application-level accuracy and stability across a set
+//! of heuristic configurations that all run on the *same* workload and
+//! observation streams, which the simulator supports natively by running the
+//! configurations side by side in one pass.
+
+use nc_netsim::metrics::ConfigMetrics;
+use stable_nc::NodeConfig;
+
+use crate::report::{fmt, format_table};
+use crate::workloads::{coordinate_simulator, Scale};
+
+/// One point of a heuristic sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Heuristic family label ("ENERGY", "RELATIVE", …).
+    pub family: String,
+    /// The swept parameter value (threshold or window size).
+    pub parameter: f64,
+    /// Median over nodes of the per-node median application-level relative
+    /// error.
+    pub median_relative_error: f64,
+    /// Aggregate application-level instability (ms/s).
+    pub instability: f64,
+    /// Fraction of nodes publishing an application-level update per second.
+    pub updates_per_node_second: f64,
+}
+
+/// Extracts the application-level summary of one configuration.
+pub fn application_summary(family: &str, parameter: f64, metrics: &ConfigMetrics) -> SweepPoint {
+    SweepPoint {
+        family: family.to_string(),
+        parameter,
+        median_relative_error: metrics.median_of_application_median_relative_error(),
+        instability: metrics.aggregate_application_instability(),
+        updates_per_node_second: metrics.application_updates_per_node_second(),
+    }
+}
+
+/// Runs every entry of the sweep side by side on one workload and returns the
+/// application-level summary of each.
+///
+/// Each entry is `(family, parameter, config)`; the simulator configuration
+/// name is derived from the pair and must therefore be unique within a sweep.
+pub fn run_sweep(scale: Scale, entries: Vec<(String, f64, NodeConfig)>) -> Vec<SweepPoint> {
+    let named: Vec<(String, NodeConfig)> = entries
+        .iter()
+        .map(|(family, parameter, config)| {
+            (format!("{family}@{parameter}"), config.clone())
+        })
+        .collect();
+    let report = coordinate_simulator(scale, named).run();
+    entries
+        .iter()
+        .map(|(family, parameter, _)| {
+            let metrics = report
+                .config(&format!("{family}@{parameter}"))
+                .expect("every sweep entry ran");
+            application_summary(family, *parameter, metrics)
+        })
+        .collect()
+}
+
+/// Renders sweep points grouped by family as an aligned table.
+pub fn render_sweep(caption: &str, points: &[SweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.family.clone(),
+                fmt(p.parameter),
+                fmt(p.median_relative_error),
+                fmt(p.instability),
+                format!("{:.3}%", p.updates_per_node_second * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = format!("{caption}\n\n");
+    out.push_str(&format_table(
+        &["heuristic", "parameter", "median rel error", "instability", "updates/node/s"],
+        &rows,
+    ));
+    out
+}
+
+/// Points of one family, ordered by parameter.
+pub fn family_points<'a>(points: &'a [SweepPoint], family: &str) -> Vec<&'a SweepPoint> {
+    let mut out: Vec<&SweepPoint> = points.iter().filter(|p| p.family == family).collect();
+    out.sort_by(|a, b| a.parameter.partial_cmp(&b.parameter).expect("finite parameters"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stable_nc::HeuristicConfig;
+
+    #[test]
+    fn sweep_runs_every_entry() {
+        let entries = vec![
+            (
+                "ENERGY".to_string(),
+                4.0,
+                NodeConfig::builder()
+                    .heuristic(HeuristicConfig::Energy { threshold: 4.0, window: 8 })
+                    .build(),
+            ),
+            (
+                "ENERGY".to_string(),
+                64.0,
+                NodeConfig::builder()
+                    .heuristic(HeuristicConfig::Energy { threshold: 64.0, window: 8 })
+                    .build(),
+            ),
+        ];
+        let points = run_sweep(Scale::Quick, entries);
+        assert_eq!(points.len(), 2);
+        let family = family_points(&points, "ENERGY");
+        assert_eq!(family.len(), 2);
+        assert!(family[0].parameter < family[1].parameter);
+        // A higher threshold can only reduce (or keep equal) the number of
+        // application updates.
+        assert!(family[1].updates_per_node_second <= family[0].updates_per_node_second + 1e-9);
+        let text = render_sweep("test sweep", &points);
+        assert!(text.contains("ENERGY"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Table I: exponentially-weighted histories versus the MP filter.
+//!
+//! The paper's Table I reports the median (over nodes) of the per-node median
+//! relative error and the aggregate instability for five configurations: the
+//! MP filter, no filter, and EWMAs with α ∈ {0.02, 0.10, 0.20}. The headline
+//! is that smoothing with an EWMA is *worse than not filtering at all*: the
+//! heavy-tail outliers are not a trend to track but noise to discard.
+
+use nc_netsim::metrics::SimReport;
+use stable_nc::{FilterConfig, HeuristicConfig, NodeConfig};
+
+use crate::report::{fmt, fmt_change, format_table};
+use crate::workloads::{coordinate_simulator, Scale};
+
+/// Configuration of the Table I experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Config {
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Table1Config {
+    /// Seconds-scale run for tests.
+    pub fn quick() -> Self {
+        Table1Config { scale: Scale::Quick }
+    }
+
+    /// Default run for the binary.
+    pub fn standard() -> Self {
+        Table1Config {
+            scale: Scale::Standard,
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Configuration label ("MP Filter", "No Filter", "alpha=0.10", …).
+    pub label: String,
+    /// Median over nodes of the per-node median relative error.
+    pub median_relative_error: f64,
+    /// Aggregate instability (ms/s).
+    pub instability: f64,
+}
+
+/// Result of the Table I experiment.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// All rows, in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// The row with the given label.
+    pub fn row(&self, label: &str) -> Option<&Table1Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Renders the table with percentage changes relative to "No Filter",
+    /// matching the paper's presentation.
+    pub fn render(&self) -> String {
+        let baseline = self
+            .row("No Filter")
+            .expect("the No Filter baseline is always present");
+        let (base_err, base_inst) = (baseline.median_relative_error, baseline.instability);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    fmt(r.median_relative_error),
+                    fmt_change(r.median_relative_error, base_err),
+                    fmt(r.instability),
+                    fmt_change(r.instability, base_inst),
+                ]
+            })
+            .collect();
+        let mut out = String::from("Table I: exponentially-weighted histories\n\n");
+        out.push_str(&format_table(
+            &["filter", "median rel error", "vs none", "instability", "vs none"],
+            &rows,
+        ));
+        out
+    }
+}
+
+fn follow(filter: FilterConfig) -> NodeConfig {
+    NodeConfig::builder()
+        .filter(filter)
+        .heuristic(HeuristicConfig::FollowSystem)
+        .build()
+}
+
+fn extract(report: &SimReport, name: &str, label: &str) -> Table1Row {
+    let metrics = report.config(name).expect("configuration ran");
+    Table1Row {
+        label: label.to_string(),
+        median_relative_error: metrics.median_of_median_relative_error(),
+        instability: metrics.aggregate_instability(),
+    }
+}
+
+/// Runs the Table I experiment: all five configurations side by side on the
+/// same observation streams.
+pub fn run(config: Table1Config) -> Table1Result {
+    let configs = vec![
+        ("mp".to_string(), follow(FilterConfig::paper_mp())),
+        ("none".to_string(), follow(FilterConfig::Raw)),
+        ("ewma02".to_string(), follow(FilterConfig::Ewma { alpha: 0.02 })),
+        ("ewma10".to_string(), follow(FilterConfig::Ewma { alpha: 0.10 })),
+        ("ewma20".to_string(), follow(FilterConfig::Ewma { alpha: 0.20 })),
+    ];
+    let report = coordinate_simulator(config.scale, configs).run();
+    Table1Result {
+        rows: vec![
+            extract(&report, "mp", "MP Filter"),
+            extract(&report, "none", "No Filter"),
+            extract(&report, "ewma02", "alpha=0.02"),
+            extract(&report, "ewma10", "alpha=0.10"),
+            extract(&report, "ewma20", "alpha=0.20"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mp_filter_wins_on_both_metrics() {
+        let result = run(Table1Config::quick());
+        let mp = result.row("MP Filter").unwrap();
+        let none = result.row("No Filter").unwrap();
+        assert!(
+            mp.median_relative_error <= none.median_relative_error,
+            "MP {:.3} vs none {:.3}",
+            mp.median_relative_error,
+            none.median_relative_error
+        );
+        assert!(mp.instability < none.instability);
+    }
+
+    #[test]
+    fn ewma_is_not_better_than_the_mp_filter() {
+        let result = run(Table1Config::quick());
+        let mp = result.row("MP Filter").unwrap();
+        for label in ["alpha=0.10", "alpha=0.20"] {
+            let ewma = result.row(label).unwrap();
+            assert!(
+                ewma.median_relative_error >= mp.median_relative_error,
+                "{label} error {:.3} should not beat the MP filter {:.3}",
+                ewma.median_relative_error,
+                mp.median_relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_five_rows_and_percent_changes() {
+        let result = run(Table1Config::quick());
+        let text = result.render();
+        assert_eq!(result.rows.len(), 5);
+        assert!(text.contains("MP Filter"));
+        assert!(text.contains("alpha=0.20"));
+        assert!(text.contains('%'));
+    }
+}

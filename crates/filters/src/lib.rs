@@ -1,0 +1,160 @@
+//! Latency observation filters.
+//!
+//! In a live deployment a link does not have *one* latency: a node sees a
+//! stream of observations for each neighbour that can span three orders of
+//! magnitude (paper §III, Figures 2–3). Feeding those raw samples straight
+//! into Vivaldi periodically distorts the whole coordinate space. This crate
+//! implements the filters the paper evaluates between the measurement layer
+//! and the coordinate update:
+//!
+//! * [`MovingPercentileFilter`] — the paper's recommended non-linear low-pass
+//!   filter: keep the last `h` observations per link and output their `p`-th
+//!   percentile (`h = 4`, `p = 25` performed best, §IV).
+//! * [`MovingMedianFilter`] — the classic special case `p = 50`.
+//! * [`EwmaFilter`] — exponentially-weighted moving average baseline
+//!   (Table I shows it is *worse* than no filter at all for this workload).
+//! * [`ThresholdFilter`] — discard observations above a fixed cut-off, the
+//!   stateless baseline the paper tried first (§IV-B "Thresholds").
+//! * [`RawFilter`] — identity pass-through (the "No Filter" configuration).
+//! * [`WarmupFilter`] — wrapper that withholds output until a minimum number
+//!   of samples has been seen, the fix the paper proposes (§VI) for the
+//!   pathological case where the very first observation on a link is an
+//!   extreme outlier.
+//!
+//! All filters implement [`LatencyFilter`]: they consume one raw observation
+//! at a time and produce the filtered latency estimate that should be handed
+//! to the coordinate algorithm (or `None` when no estimate should be emitted
+//! yet).
+//!
+//! # Example
+//!
+//! ```
+//! use nc_filters::{LatencyFilter, MovingPercentileFilter};
+//!
+//! let mut filter = MovingPercentileFilter::paper_defaults();
+//! // A stream with a huge outlier: the filter output stays near the base RTT.
+//! let outputs: Vec<f64> = [80.0, 82.0, 4000.0, 81.0, 79.0]
+//!     .into_iter()
+//!     .filter_map(|raw| filter.observe(raw))
+//!     .collect();
+//! assert!(outputs.iter().all(|&v| v < 100.0));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod ewma;
+pub mod moving_percentile;
+pub mod raw;
+pub mod threshold;
+pub mod warmup;
+
+pub use ewma::EwmaFilter;
+pub use moving_percentile::{MovingMedianFilter, MovingPercentileFilter};
+pub use raw::RawFilter;
+pub use threshold::ThresholdFilter;
+pub use warmup::WarmupFilter;
+
+/// A per-link latency filter.
+///
+/// A filter receives the raw observation stream of **one** link and emits the
+/// latency estimate the coordinate algorithm should use. Implementations are
+/// deliberately small state machines; a node keeps one filter instance per
+/// neighbour.
+pub trait LatencyFilter {
+    /// Feeds one raw observation (milliseconds) and returns the filtered
+    /// estimate to use, or `None` when the filter chooses to suppress output
+    /// for this observation (e.g. during warm-up or when a threshold filter
+    /// discards an outlier).
+    ///
+    /// Non-finite or non-positive observations are ignored and produce
+    /// `None`.
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64>;
+
+    /// The filter's current estimate without feeding a new observation, if it
+    /// has one.
+    fn current_estimate(&self) -> Option<f64>;
+
+    /// Number of raw observations consumed so far (including discarded ones,
+    /// excluding invalid ones).
+    fn observations_seen(&self) -> u64;
+
+    /// Resets the filter to its initial state (used when a link is considered
+    /// dead and later reappears).
+    fn reset(&mut self);
+}
+
+/// Identifies a filter family for configuration and reporting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FilterKind {
+    /// Raw pass-through (the paper's "No Filter").
+    Raw,
+    /// Moving-percentile filter with the paper's default parameters.
+    MovingPercentile,
+    /// Moving-median filter.
+    MovingMedian,
+    /// EWMA filter.
+    Ewma,
+    /// Fixed-threshold filter.
+    Threshold,
+}
+
+impl std::fmt::Display for FilterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FilterKind::Raw => "raw",
+            FilterKind::MovingPercentile => "moving-percentile",
+            FilterKind::MovingMedian => "moving-median",
+            FilterKind::Ewma => "ewma",
+            FilterKind::Threshold => "threshold",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Constructs a boxed filter of the given kind with its paper-default
+/// parameters. Convenient for experiment sweeps that select filters by name.
+pub fn make_filter(kind: FilterKind) -> Box<dyn LatencyFilter + Send> {
+    match kind {
+        FilterKind::Raw => Box::new(RawFilter::new()),
+        FilterKind::MovingPercentile => Box::new(MovingPercentileFilter::paper_defaults()),
+        FilterKind::MovingMedian => Box::new(MovingMedianFilter::new(4).expect("4 > 0")),
+        FilterKind::Ewma => Box::new(EwmaFilter::new(0.1).expect("alpha in range")),
+        FilterKind::Threshold => Box::new(ThresholdFilter::new(1000.0).expect("positive cutoff")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_filter_produces_working_filters() {
+        for kind in [
+            FilterKind::Raw,
+            FilterKind::MovingPercentile,
+            FilterKind::MovingMedian,
+            FilterKind::Ewma,
+            FilterKind::Threshold,
+        ] {
+            let mut f = make_filter(kind);
+            let out = f.observe(50.0);
+            assert!(out.is_some() || kind == FilterKind::MovingPercentile || kind == FilterKind::MovingMedian,
+                "{kind} swallowed a valid observation unexpectedly");
+            assert_eq!(f.observations_seen(), 1);
+        }
+    }
+
+    #[test]
+    fn filter_kind_display_is_nonempty() {
+        assert_eq!(FilterKind::MovingPercentile.to_string(), "moving-percentile");
+        assert_eq!(FilterKind::Raw.to_string(), "raw");
+    }
+
+    #[test]
+    fn filters_are_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let f = make_filter(FilterKind::Raw);
+        assert_send(&f);
+    }
+}

@@ -1,0 +1,315 @@
+//! The moving-percentile (MP) filter — the paper's core filtering
+//! contribution (§IV).
+//!
+//! A Moving Percentile filter keeps a sliding window of the last `h` raw
+//! observations of a link and outputs their `p`-th percentile as the latency
+//! estimate. It is a non-linear low-pass filter: impulses in the heavy tail
+//! are removed entirely (rather than averaged in, as an EWMA would), while a
+//! genuine shift in the underlying latency propagates to the output within
+//! `h` observations. The paper's parameter study (Figure 4) found `h = 4`
+//! and `p = 25` — i.e. the minimum of the last four samples — to predict the
+//! next observation best.
+
+use std::collections::VecDeque;
+
+use nc_stats::percentile::percentile_of_sorted;
+
+use crate::LatencyFilter;
+
+/// Error constructing a filter with invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidFilterParameter(pub(crate) &'static str);
+
+impl std::fmt::Display for InvalidFilterParameter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid filter parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidFilterParameter {}
+
+/// Moving-percentile filter over a per-link observation window.
+///
+/// # Examples
+///
+/// ```
+/// use nc_filters::{LatencyFilter, MovingPercentileFilter};
+///
+/// let mut f = MovingPercentileFilter::new(4, 25.0).unwrap();
+/// f.observe(100.0);
+/// f.observe(102.0);
+/// f.observe(5_000.0); // heavy-tail outlier
+/// let estimate = f.observe(101.0).unwrap();
+/// assert!(estimate <= 102.0, "the outlier is filtered out, got {estimate}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingPercentileFilter {
+    history_size: usize,
+    percentile: f64,
+    window: VecDeque<f64>,
+    seen: u64,
+}
+
+impl MovingPercentileFilter {
+    /// Creates a filter with history size `h` and percentile `p` (0–100).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFilterParameter`] when `history_size == 0` or `p` is
+    /// not a finite value in `0.0..=100.0`.
+    pub fn new(history_size: usize, percentile: f64) -> Result<Self, InvalidFilterParameter> {
+        if history_size == 0 {
+            return Err(InvalidFilterParameter("history size must be at least 1"));
+        }
+        if !percentile.is_finite() || !(0.0..=100.0).contains(&percentile) {
+            return Err(InvalidFilterParameter("percentile must be in 0..=100"));
+        }
+        Ok(MovingPercentileFilter {
+            history_size,
+            percentile,
+            window: VecDeque::with_capacity(history_size),
+            seen: 0,
+        })
+    }
+
+    /// The parameters the paper recommends and uses in its PlanetLab
+    /// deployment: a history of four observations and the 25th percentile.
+    pub fn paper_defaults() -> Self {
+        Self::new(4, 25.0).expect("paper defaults are valid")
+    }
+
+    /// The configured history size `h`.
+    pub fn history_size(&self) -> usize {
+        self.history_size
+    }
+
+    /// The configured percentile `p`.
+    pub fn percentile(&self) -> f64 {
+        self.percentile
+    }
+
+    /// Number of observations currently held in the window (≤ `h`).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    fn estimate_from_window(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().cloned().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("only finite values are stored"));
+        percentile_of_sorted(&sorted, self.percentile).ok()
+    }
+}
+
+impl LatencyFilter for MovingPercentileFilter {
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64> {
+        if !raw_rtt_ms.is_finite() || raw_rtt_ms <= 0.0 {
+            return None;
+        }
+        if self.window.len() == self.history_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(raw_rtt_ms);
+        self.seen += 1;
+        self.estimate_from_window()
+    }
+
+    fn current_estimate(&self) -> Option<f64> {
+        self.estimate_from_window()
+    }
+
+    fn observations_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.seen = 0;
+    }
+}
+
+/// Moving-median filter: the `p = 50` special case of the moving-percentile
+/// filter, provided as its own type because the median variant is what the
+/// filtering literature the paper cites usually discusses.
+#[derive(Debug, Clone)]
+pub struct MovingMedianFilter {
+    inner: MovingPercentileFilter,
+}
+
+impl MovingMedianFilter {
+    /// Creates a moving-median filter over the last `history_size`
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFilterParameter`] when `history_size == 0`.
+    pub fn new(history_size: usize) -> Result<Self, InvalidFilterParameter> {
+        Ok(MovingMedianFilter {
+            inner: MovingPercentileFilter::new(history_size, 50.0)?,
+        })
+    }
+
+    /// The configured history size.
+    pub fn history_size(&self) -> usize {
+        self.inner.history_size()
+    }
+}
+
+impl LatencyFilter for MovingMedianFilter {
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64> {
+        self.inner.observe(raw_rtt_ms)
+    }
+
+    fn current_estimate(&self) -> Option<f64> {
+        self.inner.current_estimate()
+    }
+
+    fn observations_seen(&self) -> u64 {
+        self.inner.observations_seen()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(MovingPercentileFilter::new(0, 25.0).is_err());
+        assert!(MovingPercentileFilter::new(4, -1.0).is_err());
+        assert!(MovingPercentileFilter::new(4, 101.0).is_err());
+        assert!(MovingPercentileFilter::new(4, f64::NAN).is_err());
+        assert!(MovingMedianFilter::new(0).is_err());
+    }
+
+    #[test]
+    fn paper_defaults_are_h4_p25() {
+        let f = MovingPercentileFilter::paper_defaults();
+        assert_eq!(f.history_size(), 4);
+        assert_eq!(f.percentile(), 25.0);
+    }
+
+    #[test]
+    fn emits_from_first_observation() {
+        // The paper notes the filter "outputted a value for every input,
+        // regardless of the history length".
+        let mut f = MovingPercentileFilter::paper_defaults();
+        assert_eq!(f.observe(123.0), Some(123.0));
+    }
+
+    #[test]
+    fn ignores_invalid_observations() {
+        let mut f = MovingPercentileFilter::paper_defaults();
+        assert_eq!(f.observe(f64::NAN), None);
+        assert_eq!(f.observe(-1.0), None);
+        assert_eq!(f.observe(0.0), None);
+        assert_eq!(f.observations_seen(), 0);
+        assert_eq!(f.current_estimate(), None);
+    }
+
+    #[test]
+    fn suppresses_heavy_tail_outliers() {
+        let mut f = MovingPercentileFilter::paper_defaults();
+        let mut estimates = Vec::new();
+        for raw in [80.0, 82.0, 79.0, 81.0, 9_000.0, 80.0, 83.0, 78.0] {
+            if let Some(e) = f.observe(raw) {
+                estimates.push(e);
+            }
+        }
+        assert!(estimates.iter().all(|&e| e < 100.0), "estimates {estimates:?}");
+    }
+
+    #[test]
+    fn window_slides_and_adapts_to_level_shift() {
+        let mut f = MovingPercentileFilter::paper_defaults();
+        for _ in 0..10 {
+            f.observe(50.0);
+        }
+        // The underlying latency shifts to 150 ms (e.g. a route change).
+        let mut last = 0.0;
+        for _ in 0..4 {
+            last = f.observe(150.0).unwrap();
+        }
+        assert!((last - 150.0).abs() < 1e-9, "filter should adapt within h samples, got {last}");
+    }
+
+    #[test]
+    fn p25_of_full_window_is_low_quantile() {
+        let mut f = MovingPercentileFilter::new(4, 25.0).unwrap();
+        for raw in [10.0, 20.0, 30.0, 40.0] {
+            f.observe(raw);
+        }
+        // 25th percentile of {10,20,30,40} with linear interpolation = 17.5.
+        assert!((f.current_estimate().unwrap() - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_filter_matches_percentile_50() {
+        let mut median = MovingMedianFilter::new(5).unwrap();
+        let mut p50 = MovingPercentileFilter::new(5, 50.0).unwrap();
+        for raw in [10.0, 200.0, 15.0, 12.0, 900.0, 11.0] {
+            assert_eq!(median.observe(raw), p50.observe(raw));
+        }
+        assert_eq!(median.history_size(), 5);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = MovingPercentileFilter::paper_defaults();
+        f.observe(10.0);
+        f.observe(20.0);
+        f.reset();
+        assert_eq!(f.observations_seen(), 0);
+        assert_eq!(f.current_estimate(), None);
+        assert_eq!(f.window_len(), 0);
+    }
+
+    #[test]
+    fn history_of_one_is_identity() {
+        let mut f = MovingPercentileFilter::new(1, 25.0).unwrap();
+        for raw in [5.0, 900.0, 42.0] {
+            assert_eq!(f.observe(raw), Some(raw));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn output_is_bounded_by_window_extremes(
+            values in proptest::collection::vec(0.1f64..1e5, 1..100),
+            h in 1usize..16,
+            p in 0.0f64..=100.0,
+        ) {
+            let mut f = MovingPercentileFilter::new(h, p).unwrap();
+            let mut window: Vec<f64> = Vec::new();
+            for &v in &values {
+                window.push(v);
+                if window.len() > h {
+                    window.remove(0);
+                }
+                let est = f.observe(v).unwrap();
+                let min = window.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(est >= min - 1e-9 && est <= max + 1e-9);
+            }
+        }
+
+        #[test]
+        fn window_never_exceeds_history_size(
+            values in proptest::collection::vec(0.1f64..1e4, 0..200),
+            h in 1usize..32,
+        ) {
+            let mut f = MovingPercentileFilter::new(h, 25.0).unwrap();
+            for &v in &values {
+                f.observe(v);
+                prop_assert!(f.window_len() <= h);
+            }
+        }
+    }
+}

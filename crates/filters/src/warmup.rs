@@ -1,0 +1,155 @@
+//! Warm-up wrapper: withhold output until a link has enough samples.
+//!
+//! Section VI of the paper traces the five largest coordinate disruptions in
+//! its PlanetLab deployment to a pathological case: when the *first*
+//! observation of a link is an extreme outlier, the MP filter — which emits
+//! an output for every input regardless of history length — hands that
+//! outlier straight to Vivaldi, and the echoes of the resulting displacement
+//! last for minutes. The proposed fix is to delay the filter's output until
+//! at least a second sample has arrived. [`WarmupFilter`] wraps any inner
+//! filter and suppresses output until `min_samples` observations have been
+//! consumed.
+
+use crate::LatencyFilter;
+
+/// Wraps an inner filter and suppresses its output until `min_samples`
+/// observations of the link have been seen.
+///
+/// # Examples
+///
+/// ```
+/// use nc_filters::{LatencyFilter, MovingPercentileFilter, WarmupFilter};
+///
+/// let mut f = WarmupFilter::new(MovingPercentileFilter::paper_defaults(), 2);
+/// assert_eq!(f.observe(9000.0), None);          // a first-sample outlier is withheld
+/// assert!(f.observe(80.0).is_some());           // output starts with the second sample
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarmupFilter<F> {
+    inner: F,
+    min_samples: u64,
+}
+
+impl<F: LatencyFilter> WarmupFilter<F> {
+    /// Wraps `inner`, requiring `min_samples` valid observations before any
+    /// output is produced. `min_samples = 0` or `1` make the wrapper a
+    /// no-op.
+    pub fn new(inner: F, min_samples: u64) -> Self {
+        WarmupFilter { inner, min_samples }
+    }
+
+    /// The wrapped filter.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// The number of samples required before output starts.
+    pub fn min_samples(&self) -> u64 {
+        self.min_samples
+    }
+
+    /// True once the warm-up requirement has been met.
+    pub fn is_warm(&self) -> bool {
+        self.inner.observations_seen() >= self.min_samples
+    }
+}
+
+impl<F: LatencyFilter> LatencyFilter for WarmupFilter<F> {
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64> {
+        let out = self.inner.observe(raw_rtt_ms)?;
+        if self.is_warm() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn current_estimate(&self) -> Option<f64> {
+        if self.is_warm() {
+            self.inner.current_estimate()
+        } else {
+            None
+        }
+    }
+
+    fn observations_seen(&self) -> u64 {
+        self.inner.observations_seen()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MovingPercentileFilter, RawFilter};
+
+    #[test]
+    fn withholds_until_min_samples() {
+        let mut f = WarmupFilter::new(RawFilter::new(), 3);
+        assert_eq!(f.observe(10.0), None);
+        assert_eq!(f.observe(11.0), None);
+        assert_eq!(f.observe(12.0), Some(12.0));
+        assert!(f.is_warm());
+    }
+
+    #[test]
+    fn zero_or_one_min_samples_is_noop() {
+        let mut f0 = WarmupFilter::new(RawFilter::new(), 0);
+        assert_eq!(f0.observe(5.0), Some(5.0));
+        let mut f1 = WarmupFilter::new(RawFilter::new(), 1);
+        assert_eq!(f1.observe(5.0), Some(5.0));
+    }
+
+    #[test]
+    fn first_sample_outlier_is_contained() {
+        // The §VI pathological case: a 30-second first sample.
+        let mut unprotected = MovingPercentileFilter::paper_defaults();
+        let mut protected = WarmupFilter::new(MovingPercentileFilter::paper_defaults(), 2);
+        let first_unprotected = unprotected.observe(30_000.0);
+        let first_protected = protected.observe(30_000.0);
+        assert_eq!(first_unprotected, Some(30_000.0), "without warm-up the outlier leaks");
+        assert_eq!(first_protected, None, "warm-up withholds the outlier");
+        // From the second sample on, the MP window still contains the outlier
+        // but the low percentile hides it.
+        let second = protected.observe(80.0).unwrap();
+        assert!(second < 10_000.0);
+    }
+
+    #[test]
+    fn invalid_samples_do_not_count_toward_warmup() {
+        let mut f = WarmupFilter::new(RawFilter::new(), 2);
+        assert_eq!(f.observe(f64::NAN), None);
+        assert_eq!(f.observe(10.0), None);
+        assert_eq!(f.observe(11.0), Some(11.0));
+    }
+
+    #[test]
+    fn current_estimate_respects_warmup() {
+        let mut f = WarmupFilter::new(RawFilter::new(), 2);
+        f.observe(10.0);
+        assert_eq!(f.current_estimate(), None);
+        f.observe(20.0);
+        assert_eq!(f.current_estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn reset_restarts_warmup() {
+        let mut f = WarmupFilter::new(RawFilter::new(), 2);
+        f.observe(10.0);
+        f.observe(20.0);
+        assert!(f.is_warm());
+        f.reset();
+        assert!(!f.is_warm());
+        assert_eq!(f.observe(30.0), None);
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let f = WarmupFilter::new(RawFilter::new(), 7);
+        assert_eq!(f.min_samples(), 7);
+        assert_eq!(f.inner().observations_seen(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Wide-area latency simulation substrate.
+//!
+//! The paper's evaluation is driven by a three-day trace of application-level
+//! UDP pings between 269 PlanetLab nodes (43 million samples) plus a
+//! four-hour live deployment. Neither artifact is available, so this crate
+//! synthesizes the closest equivalent (see `DESIGN.md` §3 for the
+//! substitution argument):
+//!
+//! * [`topology`] — places nodes in geographic regions and derives realistic
+//!   base round-trip times between them.
+//! * [`linkmodel`] — per-link observation model: base RTT + lognormal jitter
+//!   + a heavy-tailed outlier process + slow drift and occasional
+//!   route-change level shifts. Calibrated so the aggregate histogram has
+//!   the shape of the paper's Figure 2 (≈ 0.4 % of samples above one
+//!   second) and individual links look like Figure 3.
+//! * [`trace`] — materialises ping traces (who pinged whom, when, observed
+//!   RTT) from the link models, in the paper's measurement schedule.
+//! * [`planetlab`] — the full synthetic PlanetLab workload (269 nodes by
+//!   default, scalable down for quick runs).
+//! * [`cluster`] — the low-latency three-node cluster of §IV-B (Figure 6).
+//! * [`sim`] — a discrete-time simulator that runs one or more coordinate
+//!   stacks ([`stable_nc::StableNode`]) side by side on identical observation
+//!   streams, with gossip-based neighbour discovery and round-robin
+//!   sampling, mirroring the paper's methodology of running the filtered and
+//!   unfiltered systems "on the same set of PlanetLab nodes at the same
+//!   time".
+//! * [`metrics`] — collection of the paper's metrics: per-node relative
+//!   error distributions, per-node and aggregate instability, and
+//!   application-update rates, with warm-up exclusion and time binning.
+//!
+//! # Example: a small two-configuration comparison
+//!
+//! ```
+//! use nc_netsim::planetlab::PlanetLabConfig;
+//! use nc_netsim::sim::{SimConfig, Simulator};
+//! use stable_nc::NodeConfig;
+//!
+//! let workload = PlanetLabConfig::small(16).with_seed(1);
+//! let sim_config = SimConfig::new(600.0, 5.0).with_measurement_start(300.0);
+//! let mut sim = Simulator::new(workload, sim_config, vec![
+//!     ("mp".to_string(), NodeConfig::paper_defaults()),
+//!     ("raw".to_string(), NodeConfig::original_vivaldi()),
+//! ]);
+//! let report = sim.run();
+//! let mp = report.config("mp").unwrap();
+//! let raw = report.config("raw").unwrap();
+//! assert!(mp.aggregate_instability() <= raw.aggregate_instability());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cluster;
+pub mod linkmodel;
+pub mod metrics;
+pub mod planetlab;
+pub mod rand_ext;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+pub use cluster::ClusterModel;
+pub use linkmodel::{LinkModel, LinkModelConfig};
+pub use metrics::{ConfigMetrics, NodeMetrics, SimReport};
+pub use planetlab::PlanetLabConfig;
+pub use sim::{SimConfig, Simulator};
+pub use topology::{Region, Topology};
+pub use trace::{TraceConfig, TraceGenerator, TraceRecord};

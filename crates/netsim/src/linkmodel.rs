@@ -1,0 +1,297 @@
+//! Per-link latency observation model.
+//!
+//! Section III of the paper characterises what real measurements of one link
+//! look like: a tight common case near the propagation delay, plus rare but
+//! persistent samples one to three orders of magnitude larger, spread over
+//! the whole trace (Figure 3), amounting to ≈ 0.4 % of all samples exceeding
+//! one second across the full mesh (Figure 2). The [`LinkModel`] reproduces
+//! that shape:
+//!
+//! * **base RTT** from the [`crate::topology::Topology`];
+//! * **lognormal jitter** around the base (queueing, OS scheduling);
+//! * a **heavy-tailed outlier process**: with small probability a sample is
+//!   replaced by a Pareto-distributed spike (application-level pings on a
+//!   busy PlanetLab node routinely measured hundreds of milliseconds to tens
+//!   of seconds);
+//! * **slow drift** (diurnal load) and optional **route-change level
+//!   shifts**, so the underlying network genuinely changes over time the way
+//!   Figure 7 shows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::rand_ext;
+
+/// Tuning of the observation model, shared by every link of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkModelConfig {
+    /// Standard deviation of the lognormal jitter, expressed as a fraction of
+    /// the base RTT (default 0.03: a 100 ms link jitters by a few ms).
+    pub jitter_sigma: f64,
+    /// Probability that a sample is an outlier drawn from the heavy tail
+    /// (default 0.012).
+    pub outlier_probability: f64,
+    /// Pareto shape of outlier magnitudes; smaller is heavier (default 0.9,
+    /// giving a tail that regularly reaches seconds and occasionally tens of
+    /// seconds).
+    pub outlier_alpha: f64,
+    /// Scale of the outlier Pareto, as a multiple of the base RTT
+    /// (default 3.0: outliers start at a few times the base RTT).
+    pub outlier_scale_factor: f64,
+    /// Amplitude of the slow sinusoidal drift as a fraction of the base RTT
+    /// (default 0.05), with a period of several hours.
+    pub drift_amplitude: f64,
+    /// Expected number of route-change level shifts per link per day
+    /// (default 0.5). Each shift multiplies the base RTT by a factor drawn
+    /// from 0.7–1.6 for the remainder of the run.
+    pub route_changes_per_day: f64,
+    /// Floor applied to every sample in milliseconds (default 0.3 — even a
+    /// same-rack ping costs something).
+    pub min_rtt_ms: f64,
+}
+
+impl Default for LinkModelConfig {
+    fn default() -> Self {
+        LinkModelConfig {
+            jitter_sigma: 0.03,
+            outlier_probability: 0.012,
+            outlier_alpha: 0.9,
+            outlier_scale_factor: 3.0,
+            drift_amplitude: 0.05,
+            route_changes_per_day: 0.5,
+            min_rtt_ms: 0.3,
+        }
+    }
+}
+
+impl LinkModelConfig {
+    /// A calmer configuration without outliers or route changes — useful for
+    /// convergence tests where the heavy tail would only add noise.
+    pub fn clean() -> Self {
+        LinkModelConfig {
+            jitter_sigma: 0.01,
+            outlier_probability: 0.0,
+            outlier_alpha: 1.5,
+            outlier_scale_factor: 2.0,
+            drift_amplitude: 0.0,
+            route_changes_per_day: 0.0,
+            min_rtt_ms: 0.3,
+        }
+    }
+}
+
+/// A route-change event: from `at_s` onward the base RTT is multiplied by
+/// `factor`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct RouteShift {
+    at_s: f64,
+    factor: f64,
+}
+
+/// The observation model of one (directed) link.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    base_rtt_ms: f64,
+    config: LinkModelConfig,
+    rng: StdRng,
+    drift_phase: f64,
+    drift_period_s: f64,
+    shifts: Vec<RouteShift>,
+}
+
+impl LinkModel {
+    /// Creates the model for a link with the given base RTT. `duration_s` is
+    /// the length of the run being simulated (route-change times are drawn
+    /// inside it); `seed` makes the link reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base_rtt_ms` is not positive and finite.
+    pub fn new(base_rtt_ms: f64, config: LinkModelConfig, duration_s: f64, seed: u64) -> Self {
+        assert!(
+            base_rtt_ms.is_finite() && base_rtt_ms > 0.0,
+            "base RTT must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let drift_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let drift_period_s = rng.gen_range(3.0 * 3600.0..9.0 * 3600.0);
+        let expected_shifts = config.route_changes_per_day * duration_s / 86_400.0;
+        let shift_count = if expected_shifts <= 0.0 {
+            0
+        } else {
+            // Poisson-ish: draw a small integer with the right mean.
+            let mut count = 0usize;
+            let mut budget = expected_shifts;
+            while budget > 0.0 && rng.gen_range(0.0..1.0) < budget.min(1.0) {
+                count += 1;
+                budget -= 1.0;
+            }
+            count
+        };
+        let mut shifts: Vec<RouteShift> = (0..shift_count)
+            .map(|_| RouteShift {
+                at_s: rng.gen_range(0.0..duration_s.max(1.0)),
+                factor: rng.gen_range(0.7..1.6),
+            })
+            .collect();
+        shifts.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite times"));
+        LinkModel {
+            base_rtt_ms,
+            config,
+            rng,
+            drift_phase,
+            drift_period_s,
+            shifts,
+        }
+    }
+
+    /// The link's configured base RTT (before drift and route shifts).
+    pub fn base_rtt_ms(&self) -> f64 {
+        self.base_rtt_ms
+    }
+
+    /// The *current* underlying latency at time `time_s`: base RTT with drift
+    /// and any route shifts applied, but no jitter or outliers. This is the
+    /// signal a perfect filter would recover.
+    pub fn underlying_rtt_ms(&self, time_s: f64) -> f64 {
+        let mut rtt = self.base_rtt_ms;
+        for shift in &self.shifts {
+            if time_s >= shift.at_s {
+                rtt *= shift.factor;
+            }
+        }
+        let drift = 1.0
+            + self.config.drift_amplitude
+                * (std::f64::consts::TAU * time_s / self.drift_period_s + self.drift_phase).sin();
+        (rtt * drift).max(self.config.min_rtt_ms)
+    }
+
+    /// Draws one observed RTT at time `time_s` (milliseconds).
+    pub fn sample(&mut self, time_s: f64) -> f64 {
+        let underlying = self.underlying_rtt_ms(time_s);
+        let observed = if self.rng.gen_range(0.0..1.0) < self.config.outlier_probability {
+            // Heavy-tail spike: the probe sat in a queue, the VM was
+            // descheduled, or the packet was retransmitted.
+            let scale = underlying * self.config.outlier_scale_factor;
+            rand_ext::pareto(&mut self.rng, scale, self.config.outlier_alpha)
+        } else {
+            let sigma = self.config.jitter_sigma;
+            underlying * rand_ext::lognormal(&mut self.rng, 0.0, sigma)
+        };
+        // Cap at two minutes: an application-level ping would have timed out.
+        observed.clamp(self.config.min_rtt_ms, 120_000.0)
+    }
+
+    /// Number of route shifts scheduled for this link.
+    pub fn route_shift_count(&self) -> usize {
+        self.shifts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(base: f64, seed: u64) -> LinkModel {
+        LinkModel::new(base, LinkModelConfig::default(), 4.0 * 3600.0, seed)
+    }
+
+    #[test]
+    #[should_panic(expected = "base RTT must be positive")]
+    fn rejects_nonpositive_base() {
+        let _ = model(0.0, 1);
+    }
+
+    #[test]
+    fn common_case_stays_near_base() {
+        let mut m = model(80.0, 3);
+        let samples: Vec<f64> = (0..10_000).map(|i| m.sample(i as f64)).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            (median - 80.0).abs() < 12.0,
+            "median {median:.1} should sit near the 80 ms base"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_is_present_but_rare() {
+        let mut m = model(60.0, 5);
+        let samples: Vec<f64> = (0..50_000).map(|i| m.sample(i as f64)).collect();
+        let big = samples.iter().filter(|&&v| v > 600.0).count();
+        let frac = big as f64 / samples.len() as f64;
+        assert!(frac > 0.001, "tail too light: {frac}");
+        assert!(frac < 0.05, "tail too heavy: {frac}");
+        // Order-of-magnitude outliers exist.
+        assert!(samples.iter().any(|&v| v > 6_000.0));
+    }
+
+    #[test]
+    fn aggregate_tail_fraction_matches_figure_2_order_of_magnitude() {
+        // Across a mix of links, a fraction of samples in the vicinity of the
+        // paper's 0.4% exceeds one second.
+        let mut total = 0usize;
+        let mut above_1s = 0usize;
+        for (i, base) in [15.0, 40.0, 85.0, 140.0, 260.0].iter().enumerate() {
+            let mut m = model(*base, 100 + i as u64);
+            for t in 0..20_000 {
+                let s = m.sample(t as f64);
+                total += 1;
+                if s >= 1_000.0 {
+                    above_1s += 1;
+                }
+            }
+        }
+        let frac = above_1s as f64 / total as f64;
+        assert!(
+            frac > 0.0005 && frac < 0.02,
+            "fraction above 1 s = {frac:.4}, expected near 0.4%"
+        );
+    }
+
+    #[test]
+    fn clean_config_has_no_outliers() {
+        let mut m = LinkModel::new(50.0, LinkModelConfig::clean(), 3600.0, 9);
+        let samples: Vec<f64> = (0..20_000).map(|i| m.sample(i as f64)).collect();
+        assert!(samples.iter().all(|&v| v < 60.0), "clean links never spike");
+        assert_eq!(m.route_shift_count(), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = model(70.0, 11);
+        let mut b = model(70.0, 11);
+        for t in 0..100 {
+            assert_eq!(a.sample(t as f64), b.sample(t as f64));
+        }
+    }
+
+    #[test]
+    fn underlying_latency_changes_after_route_shift() {
+        // Force a route change by using a long duration and high rate.
+        let config = LinkModelConfig {
+            route_changes_per_day: 24.0,
+            ..LinkModelConfig::default()
+        };
+        let m = LinkModel::new(100.0, config, 86_400.0, 17);
+        assert!(m.route_shift_count() > 0, "expected at least one route shift");
+        let early = m.underlying_rtt_ms(0.0);
+        let late = m.underlying_rtt_ms(86_000.0);
+        assert!(
+            (early - late).abs() > 1.0,
+            "underlying latency should change after shifts ({early:.1} vs {late:.1})"
+        );
+    }
+
+    #[test]
+    fn samples_respect_floor_and_cap() {
+        let mut m = LinkModel::new(0.5, LinkModelConfig::default(), 3600.0, 23);
+        for t in 0..5_000 {
+            let s = m.sample(t as f64);
+            assert!(s >= 0.3);
+            assert!(s <= 120_000.0);
+        }
+    }
+}

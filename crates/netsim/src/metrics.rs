@@ -1,0 +1,393 @@
+//! Collection of the paper's evaluation metrics.
+//!
+//! Accuracy is the per-node distribution of relative errors; stability is the
+//! rate of coordinate change (milliseconds of movement in the coordinate
+//! space per second of wall-clock time), reported per node and in aggregate;
+//! application-level health additionally tracks how often the published
+//! coordinate changes. All metrics are accumulated only after the
+//! `measurement_start` so start-up transients can be excluded, exactly as the
+//! paper reports "the second half of the run".
+
+use std::collections::HashMap;
+
+use nc_stats::{percentile, Ecdf, StatsError, StreamingSummary};
+use nc_vivaldi::Coordinate;
+use serde::{Deserialize, Serialize};
+
+/// Per-node metric accumulators.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// `(time_s, relative_error)` of every accepted observation, measured
+    /// against the system-level coordinate before its update.
+    pub system_errors: Vec<(f64, f64)>,
+    /// `(time_s, relative_error)` measured against the application-level
+    /// coordinate.
+    pub application_errors: Vec<(f64, f64)>,
+    /// `(time_s, displacement_ms)` of every system-level coordinate movement.
+    pub system_displacements: Vec<(f64, f64)>,
+    /// `(time_s, displacement_ms)` of every published application-level
+    /// update.
+    pub application_displacements: Vec<(f64, f64)>,
+    /// Number of raw observations seen during the measurement window.
+    pub observations: u64,
+}
+
+impl NodeMetrics {
+    /// Median of the node's system-level relative errors.
+    pub fn median_relative_error(&self) -> Result<f64, StatsError> {
+        let errors: Vec<f64> = self.system_errors.iter().map(|(_, e)| *e).collect();
+        percentile(&errors, 50.0)
+    }
+
+    /// 95th percentile of the node's system-level relative errors.
+    pub fn p95_relative_error(&self) -> Result<f64, StatsError> {
+        let errors: Vec<f64> = self.system_errors.iter().map(|(_, e)| *e).collect();
+        percentile(&errors, 95.0)
+    }
+
+    /// Median of the node's application-level relative errors.
+    pub fn application_median_relative_error(&self) -> Result<f64, StatsError> {
+        let errors: Vec<f64> = self.application_errors.iter().map(|(_, e)| *e).collect();
+        percentile(&errors, 50.0)
+    }
+
+    /// 95th percentile of the node's application-level relative errors.
+    pub fn application_p95_relative_error(&self) -> Result<f64, StatsError> {
+        let errors: Vec<f64> = self.application_errors.iter().map(|(_, e)| *e).collect();
+        percentile(&errors, 95.0)
+    }
+
+    /// 95th percentile of the node's per-observation coordinate change
+    /// (Figure 5, third panel).
+    pub fn p95_coordinate_change(&self) -> Result<f64, StatsError> {
+        let moves: Vec<f64> = self.system_displacements.iter().map(|(_, d)| *d).collect();
+        percentile(&moves, 95.0)
+    }
+
+    /// Total system-level coordinate movement during the measurement window.
+    pub fn total_system_displacement_ms(&self) -> f64 {
+        self.system_displacements.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Total application-level coordinate movement during the window.
+    pub fn total_application_displacement_ms(&self) -> f64 {
+        self.application_displacements.iter().map(|(_, d)| d).sum()
+    }
+
+    /// System-level instability: coordinate movement per second (ms/s).
+    pub fn instability(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            0.0
+        } else {
+            self.total_system_displacement_ms() / duration_s
+        }
+    }
+
+    /// Application-level instability (ms/s).
+    pub fn application_instability(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            0.0
+        } else {
+            self.total_application_displacement_ms() / duration_s
+        }
+    }
+
+    /// Number of application-level updates during the window.
+    pub fn application_update_count(&self) -> usize {
+        self.application_displacements.len()
+    }
+}
+
+/// A tracked coordinate sample (for the Figure 7 trajectory plot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedCoordinate {
+    /// Sample time in seconds.
+    pub time_s: f64,
+    /// Index of the tracked node.
+    pub node: usize,
+    /// The node's system-level coordinate at that time.
+    pub system: Coordinate,
+    /// The node's application-level coordinate at that time.
+    pub application: Coordinate,
+}
+
+/// Metrics of one configuration (one coordinate stack run over the whole
+/// workload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigMetrics {
+    /// Per-node accumulators, indexed by node id.
+    pub nodes: Vec<NodeMetrics>,
+    /// Length of the measurement window in seconds.
+    pub measurement_duration_s: f64,
+    /// Tracked coordinate trajectories (empty unless tracking was requested).
+    pub tracked: Vec<TrackedCoordinate>,
+}
+
+impl ConfigMetrics {
+    /// Creates empty accumulators for `node_count` nodes.
+    pub fn new(node_count: usize, measurement_duration_s: f64) -> Self {
+        ConfigMetrics {
+            nodes: vec![NodeMetrics::default(); node_count],
+            measurement_duration_s,
+            tracked: Vec::new(),
+        }
+    }
+
+    /// Per-node median relative error (system level), skipping nodes without
+    /// samples.
+    pub fn median_relative_errors(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.median_relative_error().ok())
+            .collect()
+    }
+
+    /// Per-node 95th-percentile relative error (system level).
+    pub fn p95_relative_errors(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.p95_relative_error().ok())
+            .collect()
+    }
+
+    /// Per-node median relative error measured against the application-level
+    /// coordinate.
+    pub fn application_median_relative_errors(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.application_median_relative_error().ok())
+            .collect()
+    }
+
+    /// Per-node 95th-percentile application-level relative error.
+    pub fn application_p95_relative_errors(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.application_p95_relative_error().ok())
+            .collect()
+    }
+
+    /// Per-node 95th-percentile coordinate change.
+    pub fn p95_coordinate_changes(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.p95_coordinate_change().ok())
+            .collect()
+    }
+
+    /// Per-node system-level instability (ms/s).
+    pub fn per_node_instability(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| n.instability(self.measurement_duration_s))
+            .collect()
+    }
+
+    /// Per-node application-level instability (ms/s).
+    pub fn per_node_application_instability(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| n.application_instability(self.measurement_duration_s))
+            .collect()
+    }
+
+    /// Aggregate system-level instability: total coordinate movement of all
+    /// nodes per second — the paper's headline stability number (Table I,
+    /// Figure 13).
+    pub fn aggregate_instability(&self) -> f64 {
+        self.per_node_instability().iter().sum()
+    }
+
+    /// Aggregate application-level instability.
+    pub fn aggregate_application_instability(&self) -> f64 {
+        self.per_node_application_instability().iter().sum()
+    }
+
+    /// Median over nodes of the per-node median relative error — the single
+    /// accuracy number quoted in Table I and the threshold sweeps.
+    pub fn median_of_median_relative_error(&self) -> f64 {
+        percentile(&self.median_relative_errors(), 50.0).unwrap_or(f64::NAN)
+    }
+
+    /// Median over nodes of the per-node 95th-percentile relative error
+    /// (the Figure 13 headline).
+    pub fn median_of_p95_relative_error(&self) -> f64 {
+        percentile(&self.p95_relative_errors(), 50.0).unwrap_or(f64::NAN)
+    }
+
+    /// Median over nodes of the application-level median relative error.
+    pub fn median_of_application_median_relative_error(&self) -> f64 {
+        percentile(&self.application_median_relative_errors(), 50.0).unwrap_or(f64::NAN)
+    }
+
+    /// Median over nodes of the application-level 95th-percentile relative
+    /// error.
+    pub fn median_of_application_p95_relative_error(&self) -> f64 {
+        percentile(&self.application_p95_relative_errors(), 50.0).unwrap_or(f64::NAN)
+    }
+
+    /// Fraction of nodes that publish an application-level update in an
+    /// average second (Figure 9, bottom panel).
+    pub fn application_updates_per_node_second(&self) -> f64 {
+        if self.measurement_duration_s <= 0.0 || self.nodes.is_empty() {
+            return 0.0;
+        }
+        let total_updates: usize = self.nodes.iter().map(|n| n.application_update_count()).sum();
+        total_updates as f64 / (self.measurement_duration_s * self.nodes.len() as f64)
+    }
+
+    /// Empirical CDF of per-node median relative error (Figure 5 top /
+    /// Figure 11 top).
+    pub fn median_relative_error_cdf(&self) -> Result<Ecdf, StatsError> {
+        Ecdf::new(self.median_relative_errors())
+    }
+
+    /// Empirical CDF of per-node 95th-percentile relative error (Figure 13
+    /// top).
+    pub fn p95_relative_error_cdf(&self) -> Result<Ecdf, StatsError> {
+        Ecdf::new(self.p95_relative_errors())
+    }
+
+    /// Empirical CDF of per-node instability (Figure 5 bottom / Figure 13
+    /// bottom).
+    pub fn instability_cdf(&self) -> Result<Ecdf, StatsError> {
+        Ecdf::new(self.per_node_instability())
+    }
+
+    /// Empirical CDF of per-node application-level instability (Figure 11
+    /// bottom).
+    pub fn application_instability_cdf(&self) -> Result<Ecdf, StatsError> {
+        Ecdf::new(self.per_node_application_instability())
+    }
+
+    /// Summary of every system-level relative error sample pooled across
+    /// nodes (handy for quick sanity checks).
+    pub fn pooled_error_summary(&self) -> StreamingSummary {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.system_errors.iter().map(|(_, e)| *e))
+            .collect()
+    }
+}
+
+/// The result of one simulation run: metrics per named configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    configs: HashMap<String, ConfigMetrics>,
+    /// Total simulated duration in seconds.
+    pub duration_s: f64,
+    /// Time at which measurement started (warm-up exclusion).
+    pub measurement_start_s: f64,
+}
+
+impl SimReport {
+    /// Builds a report from named per-configuration metrics.
+    pub fn new(
+        configs: HashMap<String, ConfigMetrics>,
+        duration_s: f64,
+        measurement_start_s: f64,
+    ) -> Self {
+        SimReport {
+            configs,
+            duration_s,
+            measurement_start_s,
+        }
+    }
+
+    /// Metrics of the named configuration, if it was part of the run.
+    pub fn config(&self, name: &str) -> Option<&ConfigMetrics> {
+        self.configs.get(name)
+    }
+
+    /// Names of all configurations in the run.
+    pub fn config_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.configs.keys().map(|s| s.as_str()).collect();
+        names.sort();
+        names
+    }
+
+    /// Iterates over `(name, metrics)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfigMetrics)> {
+        let mut entries: Vec<(&str, &ConfigMetrics)> = self
+            .configs
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_with(errors: &[f64], displacements: &[f64]) -> NodeMetrics {
+        NodeMetrics {
+            system_errors: errors.iter().enumerate().map(|(i, &e)| (i as f64, e)).collect(),
+            application_errors: errors.iter().enumerate().map(|(i, &e)| (i as f64, e / 2.0)).collect(),
+            system_displacements: displacements
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64, d))
+                .collect(),
+            application_displacements: vec![(0.0, 1.0)],
+            observations: errors.len() as u64,
+        }
+    }
+
+    #[test]
+    fn node_metrics_percentiles() {
+        let n = node_with(&[0.1, 0.2, 0.3, 0.4, 10.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(n.median_relative_error().unwrap(), 0.3);
+        assert!(n.p95_relative_error().unwrap() > 1.0);
+        assert_eq!(n.total_system_displacement_ms(), 6.0);
+        assert_eq!(n.instability(3.0), 2.0);
+        assert_eq!(n.application_update_count(), 1);
+        assert_eq!(n.application_instability(1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_node_metrics_are_errors_not_panics() {
+        let n = NodeMetrics::default();
+        assert!(n.median_relative_error().is_err());
+        assert_eq!(n.instability(10.0), 0.0);
+        assert_eq!(n.application_update_count(), 0);
+    }
+
+    #[test]
+    fn config_metrics_aggregate() {
+        let mut cm = ConfigMetrics::new(2, 10.0);
+        cm.nodes[0] = node_with(&[0.1, 0.2], &[5.0, 5.0]);
+        cm.nodes[1] = node_with(&[0.3, 0.4], &[10.0, 10.0]);
+        assert_eq!(cm.median_relative_errors().len(), 2);
+        // Node 0 moves 10 ms over 10 s = 1 ms/s; node 1 moves 2 ms/s.
+        assert!((cm.aggregate_instability() - 3.0).abs() < 1e-12);
+        assert!((cm.median_of_median_relative_error() - 0.25).abs() < 1e-9);
+        // Two updates (one per node) over 10 s and 2 nodes → 0.1 updates per node-second.
+        assert!((cm.application_updates_per_node_second() - 0.1).abs() < 1e-12);
+        assert!(cm.median_relative_error_cdf().is_ok());
+        assert!(cm.instability_cdf().is_ok());
+    }
+
+    #[test]
+    fn report_lookup_and_ordering() {
+        let mut map = HashMap::new();
+        map.insert("raw".to_string(), ConfigMetrics::new(1, 5.0));
+        map.insert("mp".to_string(), ConfigMetrics::new(1, 5.0));
+        let report = SimReport::new(map, 10.0, 5.0);
+        assert!(report.config("raw").is_some());
+        assert!(report.config("missing").is_none());
+        assert_eq!(report.config_names(), vec!["mp", "raw"]);
+        let order: Vec<&str> = report.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec!["mp", "raw"]);
+    }
+
+    #[test]
+    fn pooled_summary_counts_all_samples() {
+        let mut cm = ConfigMetrics::new(2, 10.0);
+        cm.nodes[0] = node_with(&[0.1, 0.2], &[1.0]);
+        cm.nodes[1] = node_with(&[0.3], &[1.0]);
+        assert_eq!(cm.pooled_error_summary().count(), 3);
+    }
+}

@@ -1,0 +1,455 @@
+//! The discrete-time coordinate-system simulator.
+//!
+//! The paper evaluates its enhancements in two ways that this simulator
+//! unifies: a trace-driven simulator ("we built a simulator that accepted our
+//! raw ping trace as input and mimicked the distributed behavior of
+//! Vivaldi") and a live deployment in which the filtered and unfiltered
+//! systems ran "on the same set of PlanetLab nodes at the same time, using
+//! different ports". [`Simulator`] therefore runs **multiple named
+//! configurations side by side on identical observation streams**: at every
+//! probe the same raw RTT is handed to each configuration's node, so any
+//! difference in the resulting metrics is attributable to the coordinate
+//! stack alone.
+//!
+//! Probing follows the paper's protocol: every node samples its neighbour
+//! set in round-robin order at a fixed interval, neighbour sets start small
+//! and grow through gossip (each probe reply carries the address of one other
+//! node the target knows about).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use stable_nc::{NodeConfig, StableNode};
+
+use crate::linkmodel::LinkModel;
+use crate::metrics::{ConfigMetrics, SimReport, TrackedCoordinate};
+use crate::planetlab::PlanetLabConfig;
+use crate::topology::Topology;
+
+/// Measurement schedule and protocol parameters of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total simulated time in seconds.
+    pub duration_s: f64,
+    /// Interval between successive probes sent by one node (seconds); the
+    /// paper's trace used 1 s, its deployment 5 s.
+    pub probe_interval_s: f64,
+    /// Metrics are only accumulated from this time onward (warm-up
+    /// exclusion); the paper reports the second half of its runs.
+    pub measurement_start_s: f64,
+    /// How many other nodes each node knows at start-up.
+    pub initial_neighbors: usize,
+    /// Whether probe replies gossip one additional neighbour address.
+    pub gossip: bool,
+    /// Node indices whose coordinates are sampled over time (Figure 7).
+    pub track_nodes: Vec<usize>,
+    /// Interval between trajectory samples for tracked nodes (seconds).
+    pub track_interval_s: f64,
+    /// Seed for protocol-level randomness (gossip choices, initial neighbour
+    /// sets). Independent of the workload seed.
+    pub protocol_seed: u64,
+}
+
+impl SimConfig {
+    /// Creates a schedule with the given duration and probe interval; the
+    /// measurement window defaults to the second half of the run, neighbour
+    /// sets start with 8 members, and gossip is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when duration or interval is not positive and finite, or when
+    /// the interval exceeds the duration.
+    pub fn new(duration_s: f64, probe_interval_s: f64) -> Self {
+        assert!(duration_s.is_finite() && duration_s > 0.0);
+        assert!(probe_interval_s.is_finite() && probe_interval_s > 0.0);
+        assert!(probe_interval_s <= duration_s);
+        SimConfig {
+            duration_s,
+            probe_interval_s,
+            measurement_start_s: duration_s / 2.0,
+            initial_neighbors: 8,
+            gossip: true,
+            track_nodes: Vec::new(),
+            track_interval_s: 60.0,
+            protocol_seed: 0xF00D,
+        }
+    }
+
+    /// The schedule of the paper's PlanetLab deployment: four hours, one
+    /// probe per node every five seconds, second half measured.
+    pub fn paper_deployment() -> Self {
+        Self::new(4.0 * 3600.0, 5.0)
+    }
+
+    /// Sets the measurement start time.
+    pub fn with_measurement_start(mut self, start_s: f64) -> Self {
+        assert!(start_s >= 0.0 && start_s < self.duration_s);
+        self.measurement_start_s = start_s;
+        self
+    }
+
+    /// Sets the initial neighbour count.
+    pub fn with_initial_neighbors(mut self, count: usize) -> Self {
+        self.initial_neighbors = count.max(1);
+        self
+    }
+
+    /// Enables or disables gossip.
+    pub fn with_gossip(mut self, gossip: bool) -> Self {
+        self.gossip = gossip;
+        self
+    }
+
+    /// Requests coordinate tracking for the given nodes.
+    pub fn with_tracked_nodes(mut self, nodes: Vec<usize>, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0);
+        self.track_nodes = nodes;
+        self.track_interval_s = interval_s;
+        self
+    }
+
+    /// Sets the protocol randomness seed.
+    pub fn with_protocol_seed(mut self, seed: u64) -> Self {
+        self.protocol_seed = seed;
+        self
+    }
+
+    /// Length of the measurement window.
+    pub fn measurement_duration_s(&self) -> f64 {
+        self.duration_s - self.measurement_start_s
+    }
+}
+
+/// One coordinate stack (a full set of [`StableNode`]s, one per host) run by
+/// the simulator.
+struct ConfigRun {
+    name: String,
+    nodes: Vec<StableNode<usize>>,
+    metrics: ConfigMetrics,
+}
+
+/// Runs one or more coordinate-stack configurations over a synthetic
+/// workload. See the [crate-level documentation](crate) for an example.
+pub struct Simulator {
+    workload: PlanetLabConfig,
+    sim_config: SimConfig,
+    topology: Topology,
+    links: HashMap<(usize, usize), LinkModel>,
+    neighbor_sets: Vec<Vec<usize>>,
+    round_robin: Vec<usize>,
+    runs: Vec<ConfigRun>,
+    protocol_rng: StdRng,
+}
+
+impl Simulator {
+    /// Builds a simulator over `workload` with the given schedule, running
+    /// every named configuration side by side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `configs` is empty, when two configurations share a name,
+    /// or when a tracked node index is out of range.
+    pub fn new(
+        workload: PlanetLabConfig,
+        sim_config: SimConfig,
+        configs: Vec<(String, NodeConfig)>,
+    ) -> Self {
+        assert!(!configs.is_empty(), "at least one configuration is required");
+        {
+            let mut names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), configs.len(), "configuration names must be unique");
+        }
+        let topology = workload.build_topology();
+        let n = topology.len();
+        for &tracked in &sim_config.track_nodes {
+            assert!(tracked < n, "tracked node {tracked} out of range");
+        }
+        let mut protocol_rng = StdRng::seed_from_u64(sim_config.protocol_seed);
+
+        // Initial neighbour sets: a ring of successors plus a few random
+        // members, mimicking "a node knows at least one other node when it
+        // enters the system" seeded from a membership file.
+        let mut neighbor_sets: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut set = Vec::new();
+            let want = sim_config.initial_neighbors.min(n - 1);
+            let mut k = 1;
+            while set.len() < want {
+                let candidate = if set.len() < want / 2 || n <= 3 {
+                    (i + k) % n
+                } else {
+                    protocol_rng.gen_range(0..n)
+                };
+                k += 1;
+                if candidate != i && !set.contains(&candidate) {
+                    set.push(candidate);
+                }
+            }
+            neighbor_sets.push(set);
+        }
+
+        let measurement_duration = sim_config.measurement_duration_s();
+        let runs = configs
+            .into_iter()
+            .map(|(name, config)| ConfigRun {
+                name,
+                nodes: (0..n).map(|_| StableNode::new(config.clone())).collect(),
+                metrics: ConfigMetrics::new(n, measurement_duration),
+            })
+            .collect();
+
+        Simulator {
+            workload,
+            sim_config,
+            topology,
+            links: HashMap::new(),
+            neighbor_sets,
+            round_robin: vec![0; n],
+            runs,
+            protocol_rng,
+        }
+    }
+
+    /// The generated topology (ground-truth base RTTs).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn sample_link(&mut self, a: usize, b: usize, time_s: f64) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let base = self.topology.base_rtt_ms(key.0, key.1);
+        let seed = self
+            .workload
+            .seed()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((key.0 as u64) << 32) | key.1 as u64);
+        let duration = self.sim_config.duration_s;
+        let link_config = self.workload.link_config().clone();
+        self.links
+            .entry(key)
+            .or_insert_with(|| LinkModel::new(base, link_config, duration, seed))
+            .sample(time_s)
+    }
+
+    /// Runs the simulation to completion and returns the collected metrics.
+    pub fn run(&mut self) -> SimReport {
+        let n = self.topology.len();
+        let steps = (self.sim_config.duration_s / self.sim_config.probe_interval_s).floor() as usize;
+        let measurement_start = self.sim_config.measurement_start_s;
+        let track_every = (self.sim_config.track_interval_s / self.sim_config.probe_interval_s)
+            .round()
+            .max(1.0) as usize;
+
+        for step in 0..steps {
+            let time_s = step as f64 * self.sim_config.probe_interval_s;
+            let measuring = time_s >= measurement_start;
+
+            for src in 0..n {
+                let neighbor_count = self.neighbor_sets[src].len();
+                if neighbor_count == 0 {
+                    continue;
+                }
+                let dst = self.neighbor_sets[src][self.round_robin[src] % neighbor_count];
+                self.round_robin[src] = self.round_robin[src].wrapping_add(1);
+                if dst == src {
+                    continue;
+                }
+
+                // One raw observation shared by every configuration.
+                let rtt_ms = self.sample_link(src, dst, time_s);
+
+                for run in &mut self.runs {
+                    let (remote_coord, remote_error) = {
+                        let remote = &run.nodes[dst];
+                        (remote.system_coordinate().clone(), remote.error_estimate())
+                    };
+                    let outcome = run.nodes[src].observe(dst, remote_coord, remote_error, rtt_ms);
+                    if measuring {
+                        let node_metrics = &mut run.metrics.nodes[src];
+                        node_metrics.observations += 1;
+                        if let Some(err) = outcome.relative_error {
+                            node_metrics.system_errors.push((time_s, err));
+                        }
+                        if let Some(err) = outcome.application_relative_error {
+                            node_metrics.application_errors.push((time_s, err));
+                        }
+                        if outcome.system_displacement_ms > 0.0 {
+                            node_metrics
+                                .system_displacements
+                                .push((time_s, outcome.system_displacement_ms));
+                        }
+                        if let Some(update) = &outcome.application_update {
+                            node_metrics
+                                .application_displacements
+                                .push((time_s, update.displacement_ms));
+                        }
+                    }
+                }
+
+                // Gossip: the probed node hands back one address from its own
+                // neighbour set; the prober adds it. Identical across
+                // configurations because it only affects the probe schedule.
+                if self.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
+                    let idx = self.protocol_rng.gen_range(0..self.neighbor_sets[dst].len());
+                    let learned = self.neighbor_sets[dst][idx];
+                    if learned != src && !self.neighbor_sets[src].contains(&learned) {
+                        self.neighbor_sets[src].push(learned);
+                    }
+                }
+            }
+
+            // Trajectory tracking.
+            if !self.sim_config.track_nodes.is_empty() && step % track_every == 0 {
+                for run in &mut self.runs {
+                    for &node in &self.sim_config.track_nodes {
+                        run.metrics.tracked.push(TrackedCoordinate {
+                            time_s,
+                            node,
+                            system: run.nodes[node].system_coordinate().clone(),
+                            application: run.nodes[node].application_coordinate().clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut configs = HashMap::new();
+        for run in &self.runs {
+            configs.insert(run.name.clone(), run.metrics.clone());
+        }
+        SimReport::new(
+            configs,
+            self.sim_config.duration_s,
+            self.sim_config.measurement_start_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stable_nc::NodeConfig;
+
+    fn quick_sim(configs: Vec<(String, NodeConfig)>) -> SimReport {
+        let workload = PlanetLabConfig::small(12).with_seed(3);
+        let sim_config = SimConfig::new(400.0, 5.0)
+            .with_measurement_start(200.0)
+            .with_initial_neighbors(4);
+        Simulator::new(workload, sim_config, configs).run()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn requires_a_configuration() {
+        let _ = Simulator::new(PlanetLabConfig::small(4), SimConfig::new(10.0, 1.0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "names must be unique")]
+    fn rejects_duplicate_names() {
+        let _ = Simulator::new(
+            PlanetLabConfig::small(4),
+            SimConfig::new(10.0, 1.0),
+            vec![
+                ("a".into(), NodeConfig::paper_defaults()),
+                ("a".into(), NodeConfig::original_vivaldi()),
+            ],
+        );
+    }
+
+    #[test]
+    fn collects_metrics_for_every_node() {
+        let report = quick_sim(vec![("mp".into(), NodeConfig::paper_defaults())]);
+        let metrics = report.config("mp").unwrap();
+        assert_eq!(metrics.nodes.len(), 12);
+        let with_samples = metrics
+            .nodes
+            .iter()
+            .filter(|n| !n.system_errors.is_empty())
+            .count();
+        assert!(with_samples >= 10, "most nodes should have measured samples");
+        assert!(metrics.aggregate_instability() > 0.0);
+    }
+
+    #[test]
+    fn embedding_error_becomes_reasonable() {
+        let report = quick_sim(vec![("mp".into(), NodeConfig::paper_defaults())]);
+        let metrics = report.config("mp").unwrap();
+        let median = metrics.median_of_median_relative_error();
+        assert!(
+            median < 0.6,
+            "median relative error should drop well below 1.0, got {median:.2}"
+        );
+    }
+
+    #[test]
+    fn filtered_stack_is_more_stable_than_raw() {
+        let report = quick_sim(vec![
+            ("mp".into(), NodeConfig::paper_defaults()),
+            ("raw".into(), NodeConfig::original_vivaldi()),
+        ]);
+        let mp = report.config("mp").unwrap();
+        let raw = report.config("raw").unwrap();
+        assert!(
+            mp.aggregate_instability() < raw.aggregate_instability(),
+            "MP filter should stabilise the space ({} vs {})",
+            mp.aggregate_instability(),
+            raw.aggregate_instability()
+        );
+    }
+
+    #[test]
+    fn tracking_produces_trajectories() {
+        let workload = PlanetLabConfig::small(6).with_seed(5);
+        let sim_config = SimConfig::new(120.0, 5.0)
+            .with_measurement_start(60.0)
+            .with_tracked_nodes(vec![0, 3], 20.0);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .run();
+        let tracked = &report.config("mp").unwrap().tracked;
+        assert!(!tracked.is_empty());
+        assert!(tracked.iter().all(|t| t.node == 0 || t.node == 3));
+    }
+
+    #[test]
+    fn gossip_grows_neighbor_sets() {
+        let workload = PlanetLabConfig::small(16).with_seed(9);
+        let sim_config = SimConfig::new(300.0, 5.0)
+            .with_initial_neighbors(2)
+            .with_measurement_start(150.0);
+        let mut sim = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        );
+        let before: usize = sim.neighbor_sets.iter().map(|s| s.len()).sum();
+        sim.run();
+        let after: usize = sim.neighbor_sets.iter().map(|s| s.len()).sum();
+        assert!(after > before, "gossip should add neighbours ({before} -> {after})");
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports() {
+        let run = || {
+            let report = quick_sim(vec![("mp".into(), NodeConfig::paper_defaults())]);
+            report.config("mp").unwrap().median_of_median_relative_error()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sim_config_accessors() {
+        let c = SimConfig::paper_deployment();
+        assert_eq!(c.duration_s, 4.0 * 3600.0);
+        assert_eq!(c.probe_interval_s, 5.0);
+        assert_eq!(c.measurement_duration_s(), 2.0 * 3600.0);
+    }
+}

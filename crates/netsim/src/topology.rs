@@ -1,0 +1,333 @@
+//! Synthetic wide-area topology: node placement and base round-trip times.
+//!
+//! PlanetLab nodes are concentrated at universities and research labs in a
+//! handful of geographic regions. The topology model places nodes in four
+//! regions (US East, US West, Europe, Asia) in proportions similar to the
+//! 2005 deployment and assigns each node a position inside its region. The
+//! *base RTT* between two nodes — the latency a perfectly clean measurement
+//! would observe — is the sum of an inter-region backbone latency and the
+//! intra-region distance of both endpoints, plus a small per-pair offset so
+//! that no two links are exactly alike.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::rand_ext;
+
+/// Geographic region of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Eastern United States.
+    UsEast,
+    /// Western United States.
+    UsWest,
+    /// Europe.
+    Europe,
+    /// Asia / Pacific.
+    Asia,
+}
+
+impl Region {
+    /// All regions, in a fixed order.
+    pub const ALL: [Region; 4] = [Region::UsEast, Region::UsWest, Region::Europe, Region::Asia];
+
+    /// Fraction of nodes placed in this region (roughly matching the 2005
+    /// PlanetLab distribution: half in the US, a third in Europe, the rest in
+    /// Asia).
+    pub fn weight(self) -> f64 {
+        match self {
+            Region::UsEast => 0.30,
+            Region::UsWest => 0.22,
+            Region::Europe => 0.33,
+            Region::Asia => 0.15,
+        }
+    }
+
+    /// Typical one-way backbone latency in milliseconds between two regions
+    /// (round-trip base is twice this plus intra-region components).
+    fn backbone_rtt_ms(a: Region, b: Region) -> f64 {
+        use Region::*;
+        match (a, b) {
+            (x, y) if x == y => 0.0,
+            (UsEast, UsWest) | (UsWest, UsEast) => 62.0,
+            (UsEast, Europe) | (Europe, UsEast) => 82.0,
+            (UsEast, Asia) | (Asia, UsEast) => 190.0,
+            (UsWest, Europe) | (Europe, UsWest) => 140.0,
+            (UsWest, Asia) | (Asia, UsWest) => 120.0,
+            (Europe, Asia) | (Asia, Europe) => 250.0,
+            _ => unreachable!("all region pairs covered"),
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Region::UsEast => "US-East",
+            Region::UsWest => "US-West",
+            Region::Europe => "Europe",
+            Region::Asia => "Asia",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One placed node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedNode {
+    /// Region the node lives in.
+    pub region: Region,
+    /// Distance (one-way milliseconds) from the node to its region's core
+    /// router — models campus/metro access distance.
+    pub metro_ms: f64,
+    /// Access-link latency (milliseconds added to every RTT touching this
+    /// node) — models last-hop/DSL-like delay, usually small for PlanetLab.
+    pub access_ms: f64,
+}
+
+/// A generated topology: node placements and the base RTT between any pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<PlacedNode>,
+    /// Deterministic per-pair RTT offsets (upper-triangular, flattened).
+    pair_offset_ms: Vec<f64>,
+    seed: u64,
+}
+
+impl Topology {
+    /// Generates a topology of `node_count` nodes from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node_count < 2` — a latency study needs at least one
+    /// link.
+    pub fn generate(node_count: usize, seed: u64) -> Self {
+        assert!(node_count >= 2, "a topology needs at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let region = Self::pick_region(&mut rng);
+            let metro_ms = rand_ext::exponential(&mut rng, 1.0 / 4.0).min(40.0);
+            let access_ms = rand_ext::exponential(&mut rng, 1.0 / 1.5).min(15.0);
+            nodes.push(PlacedNode {
+                region,
+                metro_ms,
+                access_ms,
+            });
+        }
+        let pair_count = node_count * (node_count - 1) / 2;
+        let pair_offset_ms = (0..pair_count)
+            .map(|_| rand_ext::normal(&mut rng, 0.0, 3.0).abs())
+            .collect();
+        Topology {
+            nodes,
+            pair_offset_ms,
+            seed,
+        }
+    }
+
+    fn pick_region(rng: &mut StdRng) -> Region {
+        let total: f64 = Region::ALL.iter().map(|r| r.weight()).sum();
+        let mut draw = rng.gen_range(0.0..total);
+        for region in Region::ALL {
+            if draw < region.weight() {
+                return region;
+            }
+            draw -= region.weight();
+        }
+        Region::Asia
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false (construction requires ≥ 2 nodes).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The seed this topology was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The placement of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn node(&self, i: usize) -> &PlacedNode {
+        &self.nodes[i]
+    }
+
+    /// Iterates over all node placements.
+    pub fn iter(&self) -> impl Iterator<Item = &PlacedNode> {
+        self.nodes.iter()
+    }
+
+    /// Indices of all nodes in a given region.
+    pub fn nodes_in_region(&self, region: Region) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.region == region)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        let n = self.nodes.len();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Index into the flattened strict upper triangle.
+        lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// Base round-trip time between nodes `a` and `b` in milliseconds: the
+    /// latency an ideal, uncongested measurement would see. Symmetric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range or `a == b`.
+    pub fn base_rtt_ms(&self, a: usize, b: usize) -> f64 {
+        assert!(a != b, "a node has no link to itself");
+        let na = &self.nodes[a];
+        let nb = &self.nodes[b];
+        let backbone = Region::backbone_rtt_ms(na.region, nb.region);
+        let intra = if na.region == nb.region {
+            // Same region: latency is dominated by the metro distance between
+            // the two sites.
+            2.0 * (na.metro_ms + nb.metro_ms) * 0.5 + 3.0
+        } else {
+            2.0 * (na.metro_ms + nb.metro_ms) * 0.5
+        };
+        let access = na.access_ms + nb.access_ms;
+        backbone + intra + access + self.pair_offset_ms[self.pair_index(a, b)]
+    }
+
+    /// The full symmetric base-RTT matrix (diagonal zero). Useful for
+    /// experiments that want a ground truth to compare embeddings against.
+    pub fn base_rtt_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i != j {
+                    *cell = self.base_rtt_ms(i.min(j), i.max(j));
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_tiny_topologies() {
+        let _ = Topology::generate(1, 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Topology::generate(32, 7);
+        let b = Topology::generate(32, 7);
+        assert_eq!(a, b);
+        let c = Topology::generate(32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn base_rtt_is_symmetric_and_positive() {
+        let t = Topology::generate(24, 3);
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                if i == j {
+                    continue;
+                }
+                let rtt = t.base_rtt_ms(i, j);
+                assert!(rtt > 0.0);
+                assert_eq!(rtt, t.base_rtt_ms(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn same_region_links_are_faster_than_transcontinental() {
+        let t = Topology::generate(200, 11);
+        let us_east = t.nodes_in_region(Region::UsEast);
+        let asia = t.nodes_in_region(Region::Asia);
+        assert!(us_east.len() >= 2, "expected several US-East nodes");
+        assert!(!asia.is_empty(), "expected some Asia nodes");
+        let intra = t.base_rtt_ms(us_east[0], us_east[1]);
+        let inter = t.base_rtt_ms(us_east[0], asia[0]);
+        assert!(
+            intra < inter,
+            "intra-region {intra:.1} ms should be below trans-pacific {inter:.1} ms"
+        );
+        assert!(intra < 120.0);
+        assert!(inter > 150.0);
+    }
+
+    #[test]
+    fn all_regions_are_populated_in_large_topologies() {
+        let t = Topology::generate(269, 1);
+        for region in Region::ALL {
+            assert!(
+                !t.nodes_in_region(region).is_empty(),
+                "region {region} is empty"
+            );
+        }
+        assert_eq!(t.len(), 269);
+    }
+
+    #[test]
+    fn rtt_matrix_matches_pairwise_calls() {
+        let t = Topology::generate(10, 5);
+        let m = t.base_rtt_matrix();
+        for i in 0..10 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..10 {
+                if i != j {
+                    assert_eq!(m[i][j], t.base_rtt_ms(i, j));
+                    assert_eq!(m[i][j], m[j][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_index_is_unique() {
+        let t = Topology::generate(20, 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                assert!(seen.insert(t.pair_index(i, j)), "duplicate index for ({i},{j})");
+            }
+        }
+        assert_eq!(seen.len(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn region_display_and_weights() {
+        let total: f64 = Region::ALL.iter().map(|r| r.weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in Region::ALL {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn typical_rtts_fall_in_realistic_bands() {
+        let t = Topology::generate(269, 42);
+        let europe = t.nodes_in_region(Region::Europe);
+        let us_east = t.nodes_in_region(Region::UsEast);
+        let rtt = t.base_rtt_ms(europe[0], us_east[0]);
+        assert!(rtt > 70.0 && rtt < 220.0, "transatlantic {rtt:.1} ms");
+    }
+}

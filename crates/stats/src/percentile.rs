@@ -1,0 +1,228 @@
+//! Quantile and percentile computation.
+//!
+//! The moving-percentile filter (paper §IV) and every per-node summary in the
+//! evaluation ("median relative error", "95th percentile relative error",
+//! "95th percentile coordinate change") reduce to the same primitive: the
+//! `p`-th percentile of a finite sample. We use the common
+//! linear-interpolation definition (type 7 in the R taxonomy): for a sorted
+//! sample `x[0..n]` the percentile `p` lies at rank `r = p/100 * (n-1)` and is
+//! interpolated between `x[floor(r)]` and `x[ceil(r)]`.
+
+use crate::StatsError;
+
+/// Returns the `p`-th percentile (``0.0..=100.0``) of `data`.
+///
+/// The data does not need to be sorted; a sorted copy is made internally. Use
+/// [`percentile_of_sorted`] when the caller already maintains sorted data (as
+/// the moving-percentile filter does) to avoid the copy and sort.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty and
+/// [`StatsError::InvalidParameter`] if `p` is not a finite value in
+/// `0.0..=100.0` or if `data` contains a NaN.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nc_stats::StatsError> {
+/// let latencies = vec![80.0, 81.0, 79.0, 2400.0];
+/// let p25 = nc_stats::percentile(&latencies, 25.0)?;
+/// assert!((p25 - 79.75).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter("data contains NaN"));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// Returns the `p`-th percentile of data that is **already sorted** in
+/// ascending order.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `sorted` is empty and
+/// [`StatsError::InvalidParameter`] if `p` is not a finite value in
+/// `0.0..=100.0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nc_stats::StatsError> {
+/// let sorted = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(nc_stats::percentile_of_sorted(&sorted, 0.0)?, 1.0);
+/// assert_eq!(nc_stats::percentile_of_sorted(&sorted, 100.0)?, 4.0);
+/// assert_eq!(nc_stats::percentile_of_sorted(&sorted, 50.0)?, 2.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("percentile must be in 0..=100"));
+    }
+    if sorted.len() == 1 {
+        return Ok(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Ok(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Returns the median (50th percentile) of `data`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty, or
+/// [`StatsError::InvalidParameter`] if it contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// let m = nc_stats::median(&[3.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(m, 2.0);
+/// ```
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    percentile(data, 50.0)
+}
+
+/// Computes several percentiles in one pass over a single sorted copy.
+///
+/// This is the common case for figure generation where the same distribution
+/// is summarised at the median and 95th percentile.
+///
+/// # Errors
+///
+/// Propagates the same errors as [`percentile`]; the result vector is in the
+/// same order as `ps`.
+pub fn percentiles(data: &[f64], ps: &[f64]) -> Result<Vec<f64>, StatsError> {
+    if data.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter("data contains NaN"));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(percentile(&[], 50.0), Err(StatsError::EmptyInput));
+        assert_eq!(percentile_of_sorted(&[], 10.0), Err(StatsError::EmptyInput));
+        assert_eq!(median(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn out_of_range_percentile_is_error() {
+        assert!(percentile(&[1.0], -1.0).is_err());
+        assert!(percentile(&[1.0], 100.5).is_err());
+        assert!(percentile(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nan_data_is_error() {
+        assert!(percentile(&[1.0, f64::NAN], 50.0).is_err());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 0.0).unwrap(), 42.0);
+        assert_eq!(percentile(&[42.0], 50.0).unwrap(), 42.0);
+        assert_eq!(percentile(&[42.0], 100.0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn interpolation_matches_hand_computation() {
+        let data = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&data, 25.0).unwrap(), 20.0);
+        assert_eq!(percentile(&data, 50.0).unwrap(), 30.0);
+        assert_eq!(percentile(&data, 75.0).unwrap(), 40.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 50.0);
+        // Between ranks: 10th percentile of 5 points sits at rank 0.4.
+        assert!((percentile(&data, 10.0).unwrap() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let data = vec![50.0, 10.0, 40.0, 20.0, 30.0];
+        assert_eq!(percentile(&data, 50.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn median_even_length_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentiles_batch_matches_individual() {
+        let data = vec![5.0, 1.0, 9.0, 3.0, 7.0, 2.0];
+        let batch = percentiles(&data, &[25.0, 50.0, 95.0]).unwrap();
+        assert_eq!(batch[0], percentile(&data, 25.0).unwrap());
+        assert_eq!(batch[1], percentile(&data, 50.0).unwrap());
+        assert_eq!(batch[2], percentile(&data, 95.0).unwrap());
+    }
+
+    #[test]
+    fn low_percentile_robust_to_heavy_tail() {
+        // The property the MP filter relies on: a huge outlier does not move
+        // the low percentile.
+        let mut data = vec![80.0; 99];
+        data.push(30_000.0);
+        let p25 = percentile(&data, 25.0).unwrap();
+        assert_eq!(p25, 80.0);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_bounded_by_min_max(
+            data in proptest::collection::vec(0.0f64..1e6, 1..200),
+            p in 0.0f64..=100.0,
+        ) {
+            let v = percentile(&data, p).unwrap();
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9);
+            prop_assert!(v <= max + 1e-9);
+        }
+
+        #[test]
+        fn percentile_is_monotone_in_p(
+            data in proptest::collection::vec(0.0f64..1e6, 1..200),
+            p1 in 0.0f64..=100.0,
+            p2 in 0.0f64..=100.0,
+        ) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let vlo = percentile(&data, lo).unwrap();
+            let vhi = percentile(&data, hi).unwrap();
+            prop_assert!(vlo <= vhi + 1e-9);
+        }
+
+        #[test]
+        fn percentile_invariant_under_permutation(
+            mut data in proptest::collection::vec(0.0f64..1e6, 2..100),
+            p in 0.0f64..=100.0,
+        ) {
+            let original = percentile(&data, p).unwrap();
+            data.reverse();
+            let reversed = percentile(&data, p).unwrap();
+            prop_assert!((original - reversed).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Tuning parameters for the Vivaldi update rule.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::VivaldiState`].
+///
+/// The paper runs Vivaldi in three dimensions with `c_c = c_e = 0.25` (the
+/// values of the original authors' p2psim simulator) and, when *confidence
+/// building* is enabled, treats a prediction and an observation within 3 ms
+/// of each other as equal. Use [`VivaldiConfig::paper_defaults`] for exactly
+/// that configuration, or the builder-style setters to deviate from it.
+///
+/// # Examples
+///
+/// ```
+/// use nc_vivaldi::VivaldiConfig;
+///
+/// let config = VivaldiConfig::paper_defaults()
+///     .with_dimensions(2)
+///     .with_confidence_building(Some(3.0));
+/// assert_eq!(config.dimensions(), 2);
+/// assert_eq!(config.error_margin_ms(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VivaldiConfig {
+    dimensions: usize,
+    cc: f64,
+    ce: f64,
+    error_margin_ms: Option<f64>,
+    initial_error_estimate: f64,
+    max_observed_latency_ms: f64,
+    seed: u64,
+}
+
+impl VivaldiConfig {
+    /// The configuration used throughout the paper's evaluation: three
+    /// dimensions, `c_c = c_e = 0.25`, no height, confidence building
+    /// disabled (it is switched on only for the Figure 6 cluster
+    /// experiment), initial error estimate of 1.0 (no confidence at all).
+    pub fn paper_defaults() -> Self {
+        VivaldiConfig {
+            dimensions: 3,
+            cc: 0.25,
+            ce: 0.25,
+            error_margin_ms: None,
+            initial_error_estimate: 1.0,
+            max_observed_latency_ms: 120_000.0,
+            seed: 0x5eed_c0de,
+        }
+    }
+
+    /// Number of Euclidean dimensions of the coordinate space.
+    pub fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    /// The coordinate tuning constant `c_c` (maximum fraction of the spring
+    /// displacement applied per observation).
+    pub fn cc(&self) -> f64 {
+        self.cc
+    }
+
+    /// The confidence tuning constant `c_e` (maximum weight a single
+    /// observation has on the error estimate).
+    pub fn ce(&self) -> f64 {
+        self.ce
+    }
+
+    /// The measurement-error margin in milliseconds when confidence building
+    /// (§IV-B) is enabled, or `None` when disabled.
+    pub fn error_margin_ms(&self) -> Option<f64> {
+        self.error_margin_ms
+    }
+
+    /// Error estimate assigned to a brand-new node (1.0 = completely
+    /// unconfident).
+    pub fn initial_error_estimate(&self) -> f64 {
+        self.initial_error_estimate
+    }
+
+    /// Observations above this bound (milliseconds) are rejected outright by
+    /// the state machine as implausible (two minutes by default — far above
+    /// any real round-trip time, so only guards against corrupt input).
+    pub fn max_observed_latency_ms(&self) -> f64 {
+        self.max_observed_latency_ms
+    }
+
+    /// Seed for the deterministic direction chooser used when two nodes
+    /// occupy the same point (e.g. both at the origin during bootstrap).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the number of dimensions (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dimensions == 0`.
+    pub fn with_dimensions(mut self, dimensions: usize) -> Self {
+        assert!(dimensions > 0, "coordinate space must have at least one dimension");
+        self.dimensions = dimensions;
+        self
+    }
+
+    /// Sets the coordinate constant `c_c`. The paper notes values in
+    /// `0.05..=0.25` behave similarly; values outside `(0, 1]` are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cc` is not in `(0.0, 1.0]`.
+    pub fn with_cc(mut self, cc: f64) -> Self {
+        assert!(cc > 0.0 && cc <= 1.0, "c_c must be in (0, 1]");
+        self.cc = cc;
+        self
+    }
+
+    /// Sets the confidence constant `c_e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ce` is not in `(0.0, 1.0]`.
+    pub fn with_ce(mut self, ce: f64) -> Self {
+        assert!(ce > 0.0 && ce <= 1.0, "c_e must be in (0, 1]");
+        self.ce = ce;
+        self
+    }
+
+    /// Enables confidence building with the given measurement-error margin in
+    /// milliseconds (the paper uses 3 ms), or disables it with `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the margin is not a positive finite number.
+    pub fn with_confidence_building(mut self, margin_ms: Option<f64>) -> Self {
+        if let Some(m) = margin_ms {
+            assert!(m.is_finite() && m > 0.0, "error margin must be positive");
+        }
+        self.error_margin_ms = margin_ms;
+        self
+    }
+
+    /// Sets the initial error estimate in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is outside `(0.0, 1.0]`.
+    pub fn with_initial_error_estimate(mut self, estimate: f64) -> Self {
+        assert!(estimate > 0.0 && estimate <= 1.0, "initial error estimate must be in (0, 1]");
+        self.initial_error_estimate = estimate;
+        self
+    }
+
+    /// Sets the upper bound on plausible observations in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bound is not a positive finite number.
+    pub fn with_max_observed_latency_ms(mut self, bound: f64) -> Self {
+        assert!(bound.is_finite() && bound > 0.0, "latency bound must be positive");
+        self.max_observed_latency_ms = bound;
+        self
+    }
+
+    /// Sets the seed of the deterministic tie-break direction chooser.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_ii() {
+        let c = VivaldiConfig::paper_defaults();
+        assert_eq!(c.dimensions(), 3);
+        assert_eq!(c.cc(), 0.25);
+        assert_eq!(c.ce(), 0.25);
+        assert_eq!(c.error_margin_ms(), None);
+        assert_eq!(c.initial_error_estimate(), 1.0);
+    }
+
+    #[test]
+    fn default_is_paper_defaults() {
+        assert_eq!(VivaldiConfig::default(), VivaldiConfig::paper_defaults());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = VivaldiConfig::paper_defaults()
+            .with_dimensions(5)
+            .with_cc(0.05)
+            .with_ce(0.1)
+            .with_confidence_building(Some(3.0))
+            .with_initial_error_estimate(0.5)
+            .with_max_observed_latency_ms(10_000.0)
+            .with_seed(7);
+        assert_eq!(c.dimensions(), 5);
+        assert_eq!(c.cc(), 0.05);
+        assert_eq!(c.ce(), 0.1);
+        assert_eq!(c.error_margin_ms(), Some(3.0));
+        assert_eq!(c.initial_error_estimate(), 0.5);
+        assert_eq!(c.max_observed_latency_ms(), 10_000.0);
+        assert_eq!(c.seed(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dimensions_panics() {
+        let _ = VivaldiConfig::paper_defaults().with_dimensions(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_c must be in")]
+    fn bad_cc_panics() {
+        let _ = VivaldiConfig::paper_defaults().with_cc(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "error margin must be positive")]
+    fn bad_margin_panics() {
+        let _ = VivaldiConfig::paper_defaults().with_confidence_building(Some(-1.0));
+    }
+}

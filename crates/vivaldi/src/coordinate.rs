@@ -1,0 +1,422 @@
+//! Euclidean coordinates with an optional height component.
+//!
+//! The metric space is measured in **milliseconds**: the distance between two
+//! coordinates is the predicted round-trip latency between the corresponding
+//! hosts. The paper uses a pure three-dimensional Euclidean space; the
+//! height-vector variant of Dabek et al. (where the distance between nodes
+//! `i` and `j` is `‖x_i − x_j‖ + h_i + h_j`, the heights capturing each
+//! node's access-link latency) is supported because downstream users of the
+//! library may want it, but all reproduced experiments run with zero heights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoordinateError;
+
+/// Minimum height a coordinate may take (milliseconds). Heights never go
+/// negative; a small positive floor keeps the spring dynamics well-behaved.
+pub const MIN_HEIGHT: f64 = 0.0;
+
+/// A point in the latency space: a Euclidean component of fixed dimension
+/// plus a non-negative height.
+///
+/// # Examples
+///
+/// ```
+/// use nc_vivaldi::Coordinate;
+///
+/// let a = Coordinate::new(vec![3.0, 4.0, 0.0]).unwrap();
+/// let b = Coordinate::origin(3);
+/// assert_eq!(a.distance(&b), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coordinate {
+    components: Vec<f64>,
+    height: f64,
+}
+
+impl Coordinate {
+    /// Creates a coordinate from Euclidean components with zero height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordinateError::Dimension`] when `components` is empty and
+    /// [`CoordinateError::NotFinite`] when any component is not finite.
+    pub fn new(components: Vec<f64>) -> Result<Self, CoordinateError> {
+        Self::with_height(components, 0.0)
+    }
+
+    /// Creates a coordinate with an explicit height (milliseconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordinateError::Dimension`] when `components` is empty,
+    /// [`CoordinateError::NotFinite`] when any value is not finite, and
+    /// [`CoordinateError::NegativeHeight`] when `height < 0`.
+    pub fn with_height(components: Vec<f64>, height: f64) -> Result<Self, CoordinateError> {
+        if components.is_empty() {
+            return Err(CoordinateError::Dimension);
+        }
+        if components.iter().any(|c| !c.is_finite()) || !height.is_finite() {
+            return Err(CoordinateError::NotFinite);
+        }
+        if height < 0.0 {
+            return Err(CoordinateError::NegativeHeight);
+        }
+        Ok(Coordinate { components, height })
+    }
+
+    /// The origin of a `dimensions`-dimensional space with zero height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimensions == 0`; a zero-dimensional latency space is
+    /// meaningless and always indicates a configuration bug.
+    pub fn origin(dimensions: usize) -> Self {
+        assert!(dimensions > 0, "coordinate space must have at least one dimension");
+        Coordinate {
+            components: vec![0.0; dimensions],
+            height: 0.0,
+        }
+    }
+
+    /// The Euclidean components.
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// The height component (milliseconds).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Number of Euclidean dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Predicted round-trip latency to `other`:
+    /// `‖self − other‖ + height_self + height_other`.
+    ///
+    /// With zero heights this is the plain Euclidean distance the paper uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two coordinates have different dimensionality; mixing
+    /// spaces is always a programming error.
+    pub fn distance(&self, other: &Coordinate) -> f64 {
+        assert_eq!(
+            self.dimensions(),
+            other.dimensions(),
+            "coordinates must share a dimensionality"
+        );
+        let euclid: f64 = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        euclid + self.height + other.height
+    }
+
+    /// Euclidean magnitude of the vector part plus the height. The magnitude
+    /// of a coordinate difference is the predicted latency.
+    pub fn magnitude(&self) -> f64 {
+        let euclid: f64 = self.components.iter().map(|c| c * c).sum::<f64>().sqrt();
+        euclid + self.height
+    }
+
+    /// Magnitude of only the Euclidean part, ignoring the height.
+    pub fn euclidean_magnitude(&self) -> f64 {
+        self.components.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Vector difference `self − other`. Heights add, following the
+    /// height-vector algebra of Dabek et al. (the "difference" of two
+    /// coordinates is the displacement whose magnitude is the predicted
+    /// latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensionalities differ.
+    pub fn sub(&self, other: &Coordinate) -> Coordinate {
+        assert_eq!(self.dimensions(), other.dimensions());
+        Coordinate {
+            components: self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+            height: self.height + other.height,
+        }
+    }
+
+    /// Vector sum `self + other`. Heights add.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensionalities differ.
+    pub fn add(&self, other: &Coordinate) -> Coordinate {
+        assert_eq!(self.dimensions(), other.dimensions());
+        Coordinate {
+            components: self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            height: (self.height + other.height).max(MIN_HEIGHT),
+        }
+    }
+
+    /// Scales both the Euclidean part and the height by `factor`.
+    pub fn scale(&self, factor: f64) -> Coordinate {
+        Coordinate {
+            components: self.components.iter().map(|c| c * factor).collect(),
+            height: self.height * factor,
+        }
+    }
+
+    /// Applies a displacement vector to this coordinate: the Euclidean parts
+    /// add and the height adds but is clamped to remain non-negative. This is
+    /// the "move along the spring force" step of the Vivaldi update.
+    pub fn displaced_by(&self, displacement: &Coordinate) -> Coordinate {
+        assert_eq!(self.dimensions(), displacement.dimensions());
+        Coordinate {
+            components: self
+                .components
+                .iter()
+                .zip(displacement.components.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            height: (self.height + displacement.height).max(MIN_HEIGHT),
+        }
+    }
+
+    /// Unit vector pointing from `other` toward `self` (zero height).
+    /// Returns `None` when the two Euclidean positions coincide; the caller
+    /// must then pick an arbitrary direction (Vivaldi uses a random one so
+    /// that co-located nodes can separate).
+    pub fn unit_vector_from(&self, other: &Coordinate) -> Option<Coordinate> {
+        let diff: Vec<f64> = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        let norm: f64 = diff.iter().map(|c| c * c).sum::<f64>().sqrt();
+        if norm <= f64::EPSILON {
+            return None;
+        }
+        Some(Coordinate {
+            components: diff.into_iter().map(|c| c / norm).collect(),
+            height: 0.0,
+        })
+    }
+
+    /// Centroid of a non-empty set of coordinates: the component-wise mean of
+    /// the Euclidean parts and the mean of the heights. Used by the RELATIVE,
+    /// ENERGY and APPLICATION/CENTROID heuristics to summarise a window of
+    /// recent system coordinates (§V-B, §V-G).
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn centroid(coords: &[Coordinate]) -> Option<Coordinate> {
+        let first = coords.first()?;
+        let dims = first.dimensions();
+        let mut acc = vec![0.0; dims];
+        let mut height = 0.0;
+        for c in coords {
+            assert_eq!(c.dimensions(), dims, "centroid over mixed dimensionalities");
+            for (a, b) in acc.iter_mut().zip(c.components.iter()) {
+                *a += b;
+            }
+            height += c.height;
+        }
+        let n = coords.len() as f64;
+        Some(Coordinate {
+            components: acc.into_iter().map(|a| a / n).collect(),
+            height: (height / n).max(MIN_HEIGHT),
+        })
+    }
+
+    /// Returns the coordinate as a plain `Vec<f64>` of its Euclidean
+    /// components (the height, when present, is appended as a final element
+    /// only if non-zero consumers request it via [`Coordinate::height`]).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.components.clone()
+    }
+}
+
+impl std::fmt::Display for Coordinate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.2}")?;
+        }
+        if self.height > 0.0 {
+            write!(f, "; h={:.2}", self.height)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert_eq!(Coordinate::new(vec![]), Err(CoordinateError::Dimension));
+        assert_eq!(
+            Coordinate::new(vec![f64::NAN]),
+            Err(CoordinateError::NotFinite)
+        );
+        assert_eq!(
+            Coordinate::with_height(vec![1.0], f64::INFINITY),
+            Err(CoordinateError::NotFinite)
+        );
+        assert_eq!(
+            Coordinate::with_height(vec![1.0], -1.0),
+            Err(CoordinateError::NegativeHeight)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn origin_zero_dimensions_panics() {
+        let _ = Coordinate::origin(0);
+    }
+
+    #[test]
+    fn distance_is_euclidean_without_heights() {
+        let a = Coordinate::new(vec![0.0, 3.0]).unwrap();
+        let b = Coordinate::new(vec![4.0, 0.0]).unwrap();
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+
+    #[test]
+    fn distance_includes_heights() {
+        let a = Coordinate::with_height(vec![0.0, 0.0], 10.0).unwrap();
+        let b = Coordinate::with_height(vec![3.0, 4.0], 20.0).unwrap();
+        assert_eq!(a.distance(&b), 5.0 + 30.0);
+    }
+
+    #[test]
+    fn sub_adds_heights() {
+        let a = Coordinate::with_height(vec![5.0], 2.0).unwrap();
+        let b = Coordinate::with_height(vec![1.0], 3.0).unwrap();
+        let d = a.sub(&b);
+        assert_eq!(d.components(), &[4.0]);
+        assert_eq!(d.height(), 5.0);
+        assert_eq!(d.magnitude(), 9.0);
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm() {
+        let a = Coordinate::new(vec![3.0, 4.0]).unwrap();
+        let b = Coordinate::origin(2);
+        let u = a.unit_vector_from(&b).unwrap();
+        assert!((u.euclidean_magnitude() - 1.0).abs() < 1e-12);
+        assert!((u.components()[0] - 0.6).abs() < 1e-12);
+        assert!((u.components()[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_vector_of_coincident_points_is_none() {
+        let a = Coordinate::origin(3);
+        let b = Coordinate::origin(3);
+        assert!(a.unit_vector_from(&b).is_none());
+    }
+
+    #[test]
+    fn displacement_clamps_height() {
+        let a = Coordinate::with_height(vec![0.0], 1.0).unwrap();
+        let negative_height_displacement = Coordinate {
+            components: vec![1.0],
+            height: -5.0,
+        };
+        let moved = a.displaced_by(&negative_height_displacement);
+        assert_eq!(moved.height(), MIN_HEIGHT);
+        assert_eq!(moved.components(), &[1.0]);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(Coordinate::centroid(&[]).is_none());
+    }
+
+    #[test]
+    fn centroid_is_componentwise_mean() {
+        let coords = vec![
+            Coordinate::new(vec![0.0, 0.0]).unwrap(),
+            Coordinate::new(vec![2.0, 4.0]).unwrap(),
+            Coordinate::new(vec![4.0, 2.0]).unwrap(),
+        ];
+        let c = Coordinate::centroid(&coords).unwrap();
+        assert_eq!(c.components(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = Coordinate::with_height(vec![1.0, 2.0], 3.0).unwrap();
+        let s = format!("{c}");
+        assert!(s.contains("1.00"));
+        assert!(s.contains("h=3.00"));
+    }
+
+    fn coord_strategy(dim: usize) -> impl Strategy<Value = Coordinate> {
+        proptest::collection::vec(-1000.0f64..1000.0, dim)
+            .prop_map(|v| Coordinate::new(v).expect("finite components"))
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(a in coord_strategy(3), b in coord_strategy(3)) {
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn distance_is_nonnegative_and_zero_on_self(a in coord_strategy(3)) {
+            prop_assert!(a.distance(&a).abs() < 1e-9);
+            prop_assert!(a.distance(&Coordinate::origin(3)) >= 0.0);
+        }
+
+        #[test]
+        fn triangle_inequality(a in coord_strategy(3), b in coord_strategy(3), c in coord_strategy(3)) {
+            // Pure Euclidean coordinates obey the triangle inequality — the
+            // whole point of an embedding is that estimates are metric even
+            // when real Internet latencies are not.
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn scale_scales_magnitude(a in coord_strategy(3), k in 0.0f64..10.0) {
+            let scaled = a.scale(k);
+            prop_assert!((scaled.euclidean_magnitude() - k * a.euclidean_magnitude()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn sub_then_magnitude_equals_distance(a in coord_strategy(3), b in coord_strategy(3)) {
+            prop_assert!((a.sub(&b).magnitude() - a.distance(&b)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn centroid_lies_within_bounding_box(
+            coords in proptest::collection::vec(coord_strategy(2), 1..20)
+        ) {
+            let c = Coordinate::centroid(&coords).unwrap();
+            for dim in 0..2 {
+                let min = coords.iter().map(|p| p.components()[dim]).fold(f64::INFINITY, f64::min);
+                let max = coords.iter().map(|p| p.components()[dim]).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(c.components()[dim] >= min - 1e-9);
+                prop_assert!(c.components()[dim] <= max + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Stable and Accurate Network Coordinates — workspace façade.
+//!
+//! This crate re-exports the public API of the workspace so that examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! * [`stable_nc`] — the paper's contribution: the [`StableNode`] coordinate
+//!   stack (moving-percentile filtering → Vivaldi → application-level update
+//!   heuristics) and its configuration types.
+//! * [`nc_vivaldi`], [`nc_filters`], [`nc_change`], [`nc_stats`] — the
+//!   individual building blocks, usable on their own.
+//! * [`nc_netsim`] — the synthetic PlanetLab-style workload and simulator
+//!   used by the evaluation.
+//! * [`nc_experiments`] — the harness that regenerates every table and
+//!   figure of the paper.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction details.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stable_network_coordinates::{NodeConfig, StableNode};
+//!
+//! let mut node: StableNode<&str> = StableNode::new(NodeConfig::paper_defaults());
+//! let remote = stable_network_coordinates::Coordinate::new(vec![20.0, 30.0, 0.0]).unwrap();
+//! node.observe("peer-a", remote.clone(), 0.5, 42.0);
+//! println!("estimated RTT: {:.1} ms", node.estimate_rtt_ms(&remote));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use nc_change;
+pub use nc_experiments;
+pub use nc_filters;
+pub use nc_netsim;
+pub use nc_stats;
+pub use nc_vivaldi;
+pub use stable_nc;
+
+pub use stable_nc::{
+    ApplicationUpdate, Coordinate, FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder,
+    ObservationOutcome, StableNode, VivaldiConfig,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let config = NodeConfig::builder()
+            .filter(FilterConfig::paper_mp())
+            .heuristic(HeuristicConfig::paper_energy())
+            .build();
+        let node: StableNode<u8> = StableNode::new(config);
+        assert_eq!(node.system_coordinate().dimensions(), 3);
+    }
+}

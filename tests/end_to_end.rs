@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full pipeline from synthetic workload
+//! through filters, Vivaldi, change detection and metric collection.
+
+use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::sim::{SimConfig, Simulator};
+use nc_netsim::trace::{TraceConfig, TraceGenerator};
+use stable_network_coordinates::{
+    Coordinate, FilterConfig, HeuristicConfig, NodeConfig, StableNode,
+};
+
+fn quick_workload() -> PlanetLabConfig {
+    PlanetLabConfig::small(16).with_seed(99)
+}
+
+fn quick_schedule() -> SimConfig {
+    SimConfig::new(1_500.0, 5.0)
+        .with_measurement_start(900.0)
+        .with_initial_neighbors(6)
+}
+
+#[test]
+fn full_stack_embeds_a_synthetic_planetlab_mesh() {
+    let report = Simulator::new(
+        quick_workload(),
+        quick_schedule(),
+        vec![("paper".to_string(), NodeConfig::paper_defaults())],
+    )
+    .run();
+    let metrics = report.config("paper").expect("configuration ran");
+    // Every node took part and the embedding is far better than random:
+    // median relative error well below 1.0.
+    assert_eq!(metrics.nodes.len(), 16);
+    let median_error = metrics.median_of_median_relative_error();
+    assert!(
+        median_error < 0.5,
+        "median of per-node median relative error is {median_error:.3}"
+    );
+}
+
+#[test]
+fn paper_stack_dominates_original_vivaldi_on_identical_streams() {
+    let report = Simulator::new(
+        quick_workload(),
+        quick_schedule(),
+        vec![
+            ("enhanced".to_string(), NodeConfig::paper_defaults()),
+            ("original".to_string(), NodeConfig::original_vivaldi()),
+        ],
+    )
+    .run();
+    let enhanced = report.config("enhanced").unwrap();
+    let original = report.config("original").unwrap();
+    assert!(
+        enhanced.aggregate_application_instability() < original.aggregate_application_instability(),
+        "application-level stability: enhanced {:.1} vs original {:.1}",
+        enhanced.aggregate_application_instability(),
+        original.aggregate_application_instability()
+    );
+    assert!(
+        enhanced.median_of_application_p95_relative_error()
+            <= original.median_of_application_p95_relative_error() * 1.05,
+        "tail accuracy must not regress: enhanced {:.3} vs original {:.3}",
+        enhanced.median_of_application_p95_relative_error(),
+        original.median_of_application_p95_relative_error()
+    );
+}
+
+#[test]
+fn stable_node_consumes_a_generated_trace_directly() {
+    // The library is usable without the simulator: drive StableNodes from a
+    // materialised trace, as a real deployment would from its own probes.
+    let mut generator = TraceGenerator::new(TraceConfig::new(quick_workload(), 600.0, 1.0));
+    let node_count = generator.topology().len();
+    let mut nodes: Vec<StableNode<usize>> = (0..node_count)
+        .map(|_| StableNode::new(NodeConfig::paper_defaults()))
+        .collect();
+    for record in generator.generate() {
+        let (coord, err) = {
+            let remote = &nodes[record.dst];
+            (remote.system_coordinate().clone(), remote.error_estimate())
+        };
+        nodes[record.src].observe(record.dst, coord, err, record.rtt_ms);
+    }
+    // Estimates between converged nodes correlate with ground truth: closer
+    // pairs get smaller estimates on average.
+    let topology = generator.topology();
+    let mut correct_orderings = 0;
+    let mut comparisons = 0;
+    for a in 0..node_count {
+        for b in (a + 1)..node_count {
+            for c in (b + 1)..node_count {
+                let truth_ab = topology.base_rtt_ms(a, b);
+                let truth_ac = topology.base_rtt_ms(a, c);
+                if (truth_ab - truth_ac).abs() < 20.0 {
+                    continue; // too close to call
+                }
+                let est_ab = nodes[a].estimate_rtt_ms(nodes[b].system_coordinate());
+                let est_ac = nodes[a].estimate_rtt_ms(nodes[c].system_coordinate());
+                comparisons += 1;
+                if (truth_ab < truth_ac) == (est_ab < est_ac) {
+                    correct_orderings += 1;
+                }
+            }
+        }
+    }
+    assert!(comparisons > 50);
+    let accuracy = correct_orderings as f64 / comparisons as f64;
+    assert!(
+        accuracy > 0.7,
+        "coordinates should order {comparisons} distinguishable pairs correctly most of the time, got {accuracy:.2}"
+    );
+}
+
+#[test]
+fn every_filter_and_heuristic_combination_runs() {
+    let filters = [
+        FilterConfig::Raw,
+        FilterConfig::paper_mp(),
+        FilterConfig::MovingMedian { history: 4 },
+        FilterConfig::Ewma { alpha: 0.1 },
+        FilterConfig::Threshold { cutoff_ms: 1_000.0 },
+    ];
+    let heuristics = [
+        HeuristicConfig::FollowSystem,
+        HeuristicConfig::System { threshold_ms: 16.0 },
+        HeuristicConfig::Application { threshold_ms: 16.0 },
+        HeuristicConfig::Relative { threshold: 0.3, window: 8 },
+        HeuristicConfig::Energy { threshold: 8.0, window: 8 },
+        HeuristicConfig::ApplicationCentroid { threshold_ms: 16.0, window: 8 },
+    ];
+    let remote = Coordinate::new(vec![30.0, 40.0, 0.0]).unwrap();
+    for filter in &filters {
+        for heuristic in &heuristics {
+            let config = NodeConfig::builder()
+                .filter(filter.clone())
+                .heuristic(heuristic.clone())
+                .build();
+            let mut node: StableNode<u32> = StableNode::new(config);
+            for i in 0..200 {
+                let rtt = if i % 37 == 0 { 4_000.0 } else { 60.0 + (i % 7) as f64 };
+                node.observe(1, remote.clone(), 0.4, rtt);
+            }
+            assert!(node.observations() == 200, "{filter:?} + {heuristic:?}");
+            assert!(
+                node.system_coordinate().components().iter().all(|c| c.is_finite()),
+                "{filter:?} + {heuristic:?} produced a non-finite coordinate"
+            );
+        }
+    }
+}
+
+#[test]
+fn warmup_protects_against_first_sample_outliers_end_to_end() {
+    // §VI: the largest disruptions came from links whose first sample was an
+    // extreme outlier. With warm-up enabled the displacement caused by such a
+    // link is bounded by later, sane samples.
+    let run = |warmup: u64| -> f64 {
+        let mut node: StableNode<u32> = StableNode::new(
+            NodeConfig::builder().warmup_samples(warmup).build(),
+        );
+        let remote = Coordinate::new(vec![10.0, 10.0, 10.0]).unwrap();
+        // First contact with peer 7 is a 30-second outlier, then normal.
+        node.observe(7, remote.clone(), 0.4, 30_000.0);
+        for _ in 0..20 {
+            node.observe(7, remote.clone(), 0.4, 35.0);
+        }
+        node.system_displacement_ms()
+    };
+    let without = run(0);
+    let with = run(2);
+    assert!(
+        with < without,
+        "warm-up should reduce the displacement caused by a first-sample outlier ({with:.1} vs {without:.1})"
+    );
+}

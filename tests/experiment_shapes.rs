@@ -1,0 +1,41 @@
+//! Integration tests asserting the qualitative "shape" of the paper's
+//! headline results at quick scale: who wins, in which direction the sweeps
+//! move, and that both enhancements contribute.
+
+use nc_experiments::{fig04, fig06, fig13, table1};
+
+#[test]
+fn figure4_shape_short_histories_predict_best() {
+    let result = fig04::run(fig04::Fig04Config::quick());
+    let h1 = result.median_for(1).expect("h=1 swept");
+    let h4 = result.median_for(4).expect("h=4 swept");
+    assert!(h4 < h1, "h=4 ({h4:.3}) must beat h=1 ({h1:.3})");
+}
+
+#[test]
+fn table1_shape_mp_beats_ewma_and_raw() {
+    let result = table1::run(table1::Table1Config::quick());
+    let mp = result.row("MP Filter").unwrap();
+    let none = result.row("No Filter").unwrap();
+    let ewma = result.row("alpha=0.20").unwrap();
+    assert!(mp.instability < none.instability);
+    assert!(mp.median_relative_error <= none.median_relative_error);
+    assert!(mp.median_relative_error <= ewma.median_relative_error);
+}
+
+#[test]
+fn figure6_shape_confidence_building_helps_clusters() {
+    let result = fig06::run(fig06::Fig06Config::quick());
+    assert!(result.with_building.steady_state_mean() > result.without_building.steady_state_mean());
+}
+
+#[test]
+fn figure13_shape_both_enhancements_reduce_error_and_instability() {
+    let result = fig13::run(fig13::Fig13Config::quick());
+    // Filter alone helps stability; heuristic on top helps further.
+    assert!(result.instability("raw-mp") < result.instability("raw-nofilter"));
+    assert!(result.instability("energy+mp") < result.instability("raw-mp"));
+    // The fully enhanced stack reduces the tail error versus the original.
+    assert!(result.median_p95_error("energy+mp") < result.median_p95_error("raw-nofilter"));
+    assert!(result.instability_reduction_percent() > 50.0);
+}
