@@ -106,7 +106,11 @@ fn bench_change_detection(c: &mut Criterion) {
                 |mut heuristic| {
                     let app = Coordinate::origin(3);
                     for coord in &coords {
-                        black_box(heuristic.on_system_update(coord, &app, &UpdateContext::default()));
+                        black_box(heuristic.on_system_update(
+                            coord,
+                            &app,
+                            &UpdateContext::default(),
+                        ));
                     }
                 },
                 BatchSize::SmallInput,

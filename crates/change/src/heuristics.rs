@@ -20,7 +20,64 @@ use nc_stats::energy_distance_by;
 use nc_vivaldi::Coordinate;
 use serde::{Deserialize, Serialize};
 
-use crate::window::TwoWindowDetector;
+use crate::window::{DetectorState, TwoWindowDetector};
+
+/// The serializable runtime state of an [`UpdateHeuristic`].
+///
+/// Thresholds and window sizes are configuration and are not captured here;
+/// a restored heuristic is first built from its configuration and then
+/// adopts one of these states via [`UpdateHeuristic::import_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HeuristicState {
+    /// The heuristic keeps no runtime state (APPLICATION).
+    Stateless,
+    /// State of [`SystemHeuristic`]: the previously seen system coordinate.
+    System {
+        /// The last system-level coordinate observed, if any.
+        previous_system: Option<Coordinate>,
+    },
+    /// State of the windowed heuristics (RELATIVE, ENERGY).
+    Windowed(DetectorState),
+    /// State of [`CentroidHeuristic`]: its sliding coordinate window.
+    Centroid {
+        /// The sliding window of recent system coordinates, oldest first.
+        window: Vec<Coordinate>,
+    },
+}
+
+impl HeuristicState {
+    /// A short name of the state family, for error messages.
+    pub fn family(&self) -> &'static str {
+        match self {
+            HeuristicState::Stateless => "stateless",
+            HeuristicState::System { .. } => "system",
+            HeuristicState::Windowed(_) => "windowed",
+            HeuristicState::Centroid { .. } => "centroid",
+        }
+    }
+}
+
+/// Error returned when a heuristic is asked to adopt state exported by a
+/// heuristic of a different family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeuristicStateMismatch {
+    /// The family of the heuristic doing the importing.
+    pub expected: &'static str,
+    /// The family the state was exported from.
+    pub found: &'static str,
+}
+
+impl std::fmt::Display for HeuristicStateMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot restore a {} heuristic from {} state",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for HeuristicStateMismatch {}
 
 /// Additional per-update context a heuristic may consult.
 #[derive(Debug, Clone, Default)]
@@ -96,6 +153,17 @@ pub trait UpdateHeuristic: Send {
         application: &Coordinate,
         ctx: &UpdateContext,
     ) -> UpdateDecision;
+
+    /// Exports the heuristic's runtime state for persistence.
+    fn export_state(&self) -> HeuristicState;
+
+    /// Adopts runtime state exported by a heuristic of the same family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeuristicStateMismatch`] when the state belongs to a
+    /// different family; the heuristic is left unchanged in that case.
+    fn import_state(&mut self, state: &HeuristicState) -> Result<(), HeuristicStateMismatch>;
 }
 
 // ---------------------------------------------------------------------------
@@ -163,6 +231,25 @@ impl UpdateHeuristic for SystemHeuristic {
         self.previous_system = Some(system.clone());
         decision
     }
+
+    fn export_state(&self) -> HeuristicState {
+        HeuristicState::System {
+            previous_system: self.previous_system.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: &HeuristicState) -> Result<(), HeuristicStateMismatch> {
+        match state {
+            HeuristicState::System { previous_system } => {
+                self.previous_system = previous_system.clone();
+                Ok(())
+            }
+            other => Err(HeuristicStateMismatch {
+                expected: "system",
+                found: other.family(),
+            }),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +306,20 @@ impl UpdateHeuristic for ApplicationHeuristic {
             UpdateDecision::Publish(system.clone())
         } else {
             UpdateDecision::Keep
+        }
+    }
+
+    fn export_state(&self) -> HeuristicState {
+        HeuristicState::Stateless
+    }
+
+    fn import_state(&mut self, state: &HeuristicState) -> Result<(), HeuristicStateMismatch> {
+        match state {
+            HeuristicState::Stateless => Ok(()),
+            other => Err(HeuristicStateMismatch {
+                expected: "stateless",
+                found: other.family(),
+            }),
         }
     }
 }
@@ -311,6 +412,23 @@ impl UpdateHeuristic for RelativeHeuristic {
             UpdateDecision::Keep
         }
     }
+
+    fn export_state(&self) -> HeuristicState {
+        HeuristicState::Windowed(self.windows.export_state())
+    }
+
+    fn import_state(&mut self, state: &HeuristicState) -> Result<(), HeuristicStateMismatch> {
+        match state {
+            HeuristicState::Windowed(detector) => {
+                self.windows.import_state(detector);
+                Ok(())
+            }
+            other => Err(HeuristicStateMismatch {
+                expected: "windowed",
+                found: other.family(),
+            }),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -397,6 +515,23 @@ impl UpdateHeuristic for EnergyHeuristic {
             UpdateDecision::Keep
         }
     }
+
+    fn export_state(&self) -> HeuristicState {
+        HeuristicState::Windowed(self.windows.export_state())
+    }
+
+    fn import_state(&mut self, state: &HeuristicState) -> Result<(), HeuristicStateMismatch> {
+        match state {
+            HeuristicState::Windowed(detector) => {
+                self.windows.import_state(detector);
+                Ok(())
+            }
+            other => Err(HeuristicStateMismatch {
+                expected: "windowed",
+                found: other.family(),
+            }),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -478,6 +613,26 @@ impl UpdateHeuristic for CentroidHeuristic {
             UpdateDecision::Keep
         }
     }
+
+    fn export_state(&self) -> HeuristicState {
+        HeuristicState::Centroid {
+            window: self.window.iter().cloned().collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &HeuristicState) -> Result<(), HeuristicStateMismatch> {
+        match state {
+            HeuristicState::Centroid { window } => {
+                let from = window.len().saturating_sub(self.window_size);
+                self.window = window[from..].to_vec().into();
+                Ok(())
+            }
+            other => Err(HeuristicStateMismatch {
+                expected: "centroid",
+                found: other.family(),
+            }),
+        }
+    }
 }
 
 /// Builds a boxed heuristic of the given kind with its paper-default
@@ -510,8 +665,14 @@ mod tests {
     fn system_heuristic_triggers_on_large_step() {
         let mut h = SystemHeuristic::new(5.0);
         let app = c(0.0, 0.0);
-        assert_eq!(h.on_system_update(&c(0.0, 0.0), &app, &UpdateContext::default()), UpdateDecision::Keep);
-        assert_eq!(h.on_system_update(&c(1.0, 0.0), &app, &UpdateContext::default()), UpdateDecision::Keep);
+        assert_eq!(
+            h.on_system_update(&c(0.0, 0.0), &app, &UpdateContext::default()),
+            UpdateDecision::Keep
+        );
+        assert_eq!(
+            h.on_system_update(&c(1.0, 0.0), &app, &UpdateContext::default()),
+            UpdateDecision::Keep
+        );
         let decision = h.on_system_update(&c(20.0, 0.0), &app, &UpdateContext::default());
         assert_eq!(decision, UpdateDecision::Publish(c(20.0, 0.0)));
     }
@@ -524,7 +685,9 @@ mod tests {
         let mut published = 0;
         for i in 1..=100 {
             let sys = c(i as f64 * 4.0, 0.0); // 4 ms per step, 400 ms total drift
-            if h.on_system_update(&sys, &app, &UpdateContext::default()).is_publish() {
+            if h.on_system_update(&sys, &app, &UpdateContext::default())
+                .is_publish()
+            {
                 published += 1;
             }
         }
@@ -538,12 +701,18 @@ mod tests {
         let mut first_publish_at = None;
         for i in 1..=10 {
             let sys = c(i as f64, 0.0);
-            if h.on_system_update(&sys, &app, &UpdateContext::default()).is_publish() {
+            if h.on_system_update(&sys, &app, &UpdateContext::default())
+                .is_publish()
+            {
                 first_publish_at = Some(i);
                 break;
             }
         }
-        assert_eq!(first_publish_at, Some(6), "publishes once drift exceeds 5 ms");
+        assert_eq!(
+            first_publish_at,
+            Some(6),
+            "publishes once drift exceeds 5 ms"
+        );
     }
 
     #[test]
@@ -551,8 +720,15 @@ mod tests {
         let mut h = ApplicationHeuristic::new(10.0);
         let app = c(0.0, 0.0);
         for i in 0..100 {
-            let sys = if i % 2 == 0 { c(4.0, 0.0) } else { c(-4.0, 0.0) };
-            assert_eq!(h.on_system_update(&sys, &app, &UpdateContext::default()), UpdateDecision::Keep);
+            let sys = if i % 2 == 0 {
+                c(4.0, 0.0)
+            } else {
+                c(-4.0, 0.0)
+            };
+            assert_eq!(
+                h.on_system_update(&sys, &app, &UpdateContext::default()),
+                UpdateDecision::Keep
+            );
         }
     }
 
@@ -621,7 +797,9 @@ mod tests {
         for i in 0..200 {
             let jitter = (i % 7) as f64 * 0.05;
             let sys = c(50.0 + jitter, 20.0);
-            assert!(!h.on_system_update(&sys, &app, &UpdateContext::default()).is_publish());
+            assert!(!h
+                .on_system_update(&sys, &app, &UpdateContext::default())
+                .is_publish());
         }
     }
 
@@ -642,8 +820,14 @@ mod tests {
             }
         }
         let (after, target) = published.expect("shift should be detected");
-        assert!(after < 16, "detected within one window, after {after} samples");
-        assert!(target.components()[0] > 20.0, "target tracks the new location");
+        assert!(
+            after < 16,
+            "detected within one window, after {after} samples"
+        );
+        assert!(
+            target.components()[0] > 20.0,
+            "target tracks the new location"
+        );
     }
 
     #[test]
@@ -679,7 +863,10 @@ mod tests {
         let mut h = CentroidHeuristic::new(50.0, 4);
         let app = c(0.0, 0.0);
         for x in [8.0, 9.0, 10.0, 11.0] {
-            assert_eq!(h.on_system_update(&c(x, 0.0), &app, &UpdateContext::default()), UpdateDecision::Keep);
+            assert_eq!(
+                h.on_system_update(&c(x, 0.0), &app, &UpdateContext::default()),
+                UpdateDecision::Keep
+            );
         }
     }
 

@@ -52,8 +52,9 @@ pub mod manager;
 pub mod window;
 
 pub use heuristics::{
-    ApplicationHeuristic, CentroidHeuristic, EnergyHeuristic, HeuristicKind, RelativeHeuristic,
-    SystemHeuristic, UpdateContext, UpdateDecision, UpdateHeuristic,
+    ApplicationHeuristic, CentroidHeuristic, EnergyHeuristic, HeuristicKind, HeuristicState,
+    HeuristicStateMismatch, RelativeHeuristic, SystemHeuristic, UpdateContext, UpdateDecision,
+    UpdateHeuristic,
 };
-pub use manager::{ApplicationCoordinate, ApplicationUpdate};
-pub use window::TwoWindowDetector;
+pub use manager::{ApplicationCoordinate, ApplicationState, ApplicationUpdate};
+pub use window::{DetectorState, TwoWindowDetector};

@@ -8,11 +8,32 @@
 //! stability and update frequency (the metrics of Figures 9–13).
 
 use nc_vivaldi::Coordinate;
+use serde::{Deserialize, Serialize};
 
-use crate::heuristics::{UpdateContext, UpdateDecision, UpdateHeuristic};
+use crate::heuristics::{
+    HeuristicState, HeuristicStateMismatch, UpdateContext, UpdateDecision, UpdateHeuristic,
+};
+
+/// The serializable runtime state of an [`ApplicationCoordinate`]: the
+/// published coordinate, the accounting counters and the heuristic's own
+/// state. The heuristic itself (family and parameters) is configuration and
+/// is rebuilt separately on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationState {
+    /// The currently published application-level coordinate.
+    pub coordinate: Coordinate,
+    /// Number of application-level updates published so far.
+    pub update_count: u64,
+    /// Number of system-level updates considered so far.
+    pub system_updates_seen: u64,
+    /// Sum of all published displacements (milliseconds).
+    pub total_displacement_ms: f64,
+    /// Runtime state of the update heuristic.
+    pub heuristic: HeuristicState,
+}
 
 /// One published change of the application-level coordinate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApplicationUpdate {
     /// The coordinate that was published before this update.
     pub previous: Coordinate,
@@ -112,7 +133,10 @@ impl ApplicationCoordinate {
         ctx: &UpdateContext,
     ) -> Option<ApplicationUpdate> {
         self.system_updates_seen += 1;
-        match self.heuristic.on_system_update(system, &self.coordinate, ctx) {
+        match self
+            .heuristic
+            .on_system_update(system, &self.coordinate, ctx)
+        {
             UpdateDecision::Keep => None,
             UpdateDecision::Publish(target) => {
                 let previous = self.coordinate.clone();
@@ -127,6 +151,36 @@ impl ApplicationCoordinate {
                 })
             }
         }
+    }
+
+    /// Exports the manager's runtime state (published coordinate, counters,
+    /// heuristic state) for persistence.
+    pub fn export_state(&self) -> ApplicationState {
+        ApplicationState {
+            coordinate: self.coordinate.clone(),
+            update_count: self.update_count,
+            system_updates_seen: self.system_updates_seen,
+            total_displacement_ms: self.total_displacement_ms,
+            heuristic: self.heuristic.export_state(),
+        }
+    }
+
+    /// Adopts runtime state exported by
+    /// [`ApplicationCoordinate::export_state`] from a manager with the same
+    /// heuristic configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeuristicStateMismatch`] when the embedded heuristic state
+    /// belongs to a different heuristic family; the manager is left
+    /// unchanged in that case.
+    pub fn import_state(&mut self, state: &ApplicationState) -> Result<(), HeuristicStateMismatch> {
+        self.heuristic.import_state(&state.heuristic)?;
+        self.coordinate = state.coordinate.clone();
+        self.update_count = state.update_count;
+        self.system_updates_seen = state.system_updates_seen;
+        self.total_displacement_ms = state.total_displacement_ms;
+        Ok(())
     }
 
     /// Forces the published coordinate to `target` without consulting the

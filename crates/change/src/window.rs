@@ -17,6 +17,24 @@
 use std::collections::VecDeque;
 
 use nc_vivaldi::Coordinate;
+use serde::{Deserialize, Serialize};
+
+/// The serializable runtime state of a [`TwoWindowDetector`]: the window
+/// contents and counters, without the configured window size (which is
+/// supplied when the detector is rebuilt).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorState {
+    /// The frozen start window, oldest first.
+    pub start: Vec<Coordinate>,
+    /// The sliding current window, oldest first.
+    pub current: Vec<Coordinate>,
+    /// Pushes since the last change point.
+    pub pushes_since_reset: u64,
+    /// Total pushes over the detector's lifetime.
+    pub total_pushes: u64,
+    /// Change points declared so far.
+    pub change_points: u64,
+}
 
 /// The paired start/current windows over a coordinate stream.
 ///
@@ -151,6 +169,31 @@ impl TwoWindowDetector {
     pub fn change_points(&self) -> u64 {
         self.change_points
     }
+
+    /// Exports the detector's runtime state for persistence.
+    pub fn export_state(&self) -> DetectorState {
+        DetectorState {
+            start: self.start.clone(),
+            current: self.current.iter().cloned().collect(),
+            pushes_since_reset: self.pushes_since_reset,
+            total_pushes: self.total_pushes,
+            change_points: self.change_points,
+        }
+    }
+
+    /// Adopts runtime state exported by [`TwoWindowDetector::export_state`].
+    /// Windows longer than the configured size keep only their newest
+    /// entries, so state exported under a larger window still restores.
+    pub fn import_state(&mut self, state: &DetectorState) {
+        // The start window freezes its *first* k coordinates, the current
+        // window slides over the *last* k: truncate each from its own end.
+        self.start = state.start.iter().take(self.window_size).cloned().collect();
+        let from = state.current.len().saturating_sub(self.window_size);
+        self.current = state.current[from..].to_vec().into();
+        self.pushes_since_reset = state.pushes_since_reset;
+        self.total_pushes = state.total_pushes;
+        self.change_points = state.change_points;
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +231,11 @@ mod tests {
         }
         let start: Vec<f64> = w.start_window().iter().map(|c| c.components()[0]).collect();
         assert_eq!(start, vec![0.0, 1.0, 2.0]);
-        let current: Vec<f64> = w.current_window().iter().map(|c| c.components()[0]).collect();
+        let current: Vec<f64> = w
+            .current_window()
+            .iter()
+            .map(|c| c.components()[0])
+            .collect();
         assert_eq!(current, vec![5.0, 6.0, 7.0]);
     }
 

@@ -73,7 +73,10 @@ impl FilterConfig {
     pub(crate) fn build(&self, warmup_samples: u64) -> Box<dyn LatencyFilter + Send> {
         let inner: Box<dyn LatencyFilter + Send> = match self {
             FilterConfig::Raw => Box::new(RawFilter::new()),
-            FilterConfig::MovingPercentile { history, percentile } => Box::new(
+            FilterConfig::MovingPercentile {
+                history,
+                percentile,
+            } => Box::new(
                 MovingPercentileFilter::new(*history, *percentile)
                     .expect("invalid moving-percentile parameters"),
             ),
@@ -111,6 +114,15 @@ impl LatencyFilter for BoxedFilter {
     }
     fn reset(&mut self) {
         self.0.reset()
+    }
+    fn export_state(&self) -> nc_filters::FilterState {
+        self.0.export_state()
+    }
+    fn import_state(
+        &mut self,
+        state: &nc_filters::FilterState,
+    ) -> Result<(), nc_filters::StateMismatch> {
+        self.0.import_state(state)
     }
 }
 
@@ -181,9 +193,7 @@ impl HeuristicConfig {
             HeuristicConfig::Application { .. } => Some(HeuristicKind::Application),
             HeuristicConfig::Relative { .. } => Some(HeuristicKind::Relative),
             HeuristicConfig::Energy { .. } => Some(HeuristicKind::Energy),
-            HeuristicConfig::ApplicationCentroid { .. } => {
-                Some(HeuristicKind::ApplicationCentroid)
-            }
+            HeuristicConfig::ApplicationCentroid { .. } => Some(HeuristicKind::ApplicationCentroid),
         }
     }
 
@@ -209,9 +219,10 @@ impl HeuristicConfig {
             HeuristicConfig::Energy { threshold, window } => {
                 Some(Box::new(EnergyHeuristic::new(*threshold, *window)))
             }
-            HeuristicConfig::ApplicationCentroid { threshold_ms, window } => {
-                Some(Box::new(CentroidHeuristic::new(*threshold_ms, *window)))
-            }
+            HeuristicConfig::ApplicationCentroid {
+                threshold_ms,
+                window,
+            } => Some(Box::new(CentroidHeuristic::new(*threshold_ms, *window))),
         }
     }
 }
@@ -390,7 +401,9 @@ mod tests {
             },
         ];
         for config in configs {
-            let built = config.build().expect("non-follow configs build a heuristic");
+            let built = config
+                .build()
+                .expect("non-follow configs build a heuristic");
             assert_eq!(Some(built.kind()), config.kind());
         }
         assert!(HeuristicConfig::FollowSystem.build().is_none());

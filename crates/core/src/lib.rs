@@ -21,23 +21,76 @@
 //! four-observation history returning the 25th percentile, and the ENERGY
 //! heuristic with window 32 and threshold 8.
 //!
-//! # Quickstart
+//! # The sans-I/O engine
+//!
+//! A node is driven entirely through the wire messages of [`nc_proto`]: it
+//! schedules probes with [`StableNode::next_probe`], answers incoming
+//! probes with [`StableNode::respond`], and digests measured responses with
+//! [`StableNode::handle_response`], which reports what happened as typed
+//! [`Event`]s. The engine never touches a socket or a clock — the same code
+//! runs under the discrete-event simulator, a UDP daemon, or a trace
+//! replayer, which is what makes the stack testable and deployable at once.
+//!
+//! # Quickstart: the request/response loop
 //!
 //! ```
-//! use stable_nc::{NodeConfig, StableNode};
+//! use stable_nc::{Event, NodeConfig, StableNode};
 //!
-//! // Two nodes measuring each other at ~80 ms with occasional huge outliers.
 //! let mut a: StableNode<&'static str> = StableNode::new(NodeConfig::paper_defaults());
 //! let mut b: StableNode<&'static str> = StableNode::new(NodeConfig::paper_defaults());
 //!
-//! for round in 0..400 {
+//! // Two nodes measuring each other at ~80 ms with occasional huge outliers.
+//! let mut app_updates = 0;
+//! for round in 0..400u64 {
 //!     let rtt = if round % 50 == 7 { 2_500.0 } else { 80.0 };
-//!     a.observe("b", b.system_coordinate().clone(), b.error_estimate(), rtt);
-//!     b.observe("a", a.system_coordinate().clone(), a.error_estimate(), rtt);
+//!
+//!     // a probes b: build the request, let b answer it, stamp the
+//!     // measured round trip in, digest the events.
+//!     let request = a.probe_request_for("b", round);
+//!     let mut response = b.respond(&request);
+//!     response.rtt_ms = rtt;
+//!     for event in a.handle_response(&response) {
+//!         if matches!(event, Event::ApplicationUpdated { .. }) {
+//!             app_updates += 1;
+//!         }
+//!     }
+//!
+//!     // ... and b probes a.
+//!     let request = b.probe_request_for("a", round);
+//!     let mut response = a.respond(&request);
+//!     response.rtt_ms = rtt;
+//!     b.handle_response(&response);
 //! }
 //!
 //! let estimate = a.estimate_rtt_ms(b.system_coordinate());
 //! assert!((estimate - 80.0).abs() < 15.0, "estimated {estimate:.1} ms");
+//! // The outliers moved the system coordinate a little but the application
+//! // saw only a handful of updates.
+//! assert!(app_updates < 40, "published {app_updates} application updates");
+//! ```
+//!
+//! # Snapshot and restore
+//!
+//! [`StableNode::snapshot`] captures the complete runtime state — Vivaldi
+//! state, per-link filter windows, heuristic windows, neighbour table and
+//! probe schedule — as a serializable [`NodeSnapshot`];
+//! [`StableNode::restore`] revives it under the same configuration and the
+//! node continues the exact same trajectory:
+//!
+//! ```
+//! use nc_proto::WireMessage;
+//! use stable_nc::{NodeConfig, StableNode};
+//!
+//! let mut node: StableNode<u32> = StableNode::new(NodeConfig::paper_defaults());
+//! let remote = stable_nc::Coordinate::new(vec![20.0, 30.0, 0.0]).unwrap();
+//! for i in 0..64 {
+//!     node.observe(1, remote.clone(), 0.5, 42.0 + (i % 3) as f64);
+//! }
+//!
+//! let persisted = node.snapshot().encode(); // JSON, version-tagged
+//! let snapshot = stable_nc::NodeSnapshot::<u32>::decode(&persisted).unwrap();
+//! let restored = StableNode::restore(NodeConfig::paper_defaults(), &snapshot).unwrap();
+//! assert_eq!(restored.system_coordinate(), node.system_coordinate());
 //! ```
 
 #![deny(missing_docs)]
@@ -47,9 +100,13 @@ pub mod config;
 pub mod node;
 
 pub use config::{FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder};
-pub use node::{NeighborSnapshot, ObservationOutcome, StableNode};
+pub use node::{NeighborSnapshot, ObservationOutcome, RestoreError, StableNode};
 
 // Re-export the building blocks so downstream users need only one dependency.
 pub use nc_change::{ApplicationUpdate, HeuristicKind};
 pub use nc_filters::FilterKind;
+pub use nc_proto::{
+    Event, GossipEntry, NodeSnapshot, ProbeRequest, ProbeResponse, WireError, WireMessage,
+    PROTOCOL_VERSION,
+};
 pub use nc_vivaldi::{Coordinate, VivaldiConfig};

@@ -1,16 +1,25 @@
-//! The per-host coordinate subsystem: filter → Vivaldi → application-level
-//! coordinate.
+//! The per-host coordinate subsystem behind a sans-I/O engine: filter →
+//! Vivaldi → application-level coordinate, driven entirely through
+//! [`ProbeRequest`] / [`ProbeResponse`] wire messages and observed through a
+//! typed [`Event`] stream.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use nc_change::{ApplicationCoordinate, ApplicationUpdate, UpdateContext};
-use nc_filters::LatencyFilter;
+use nc_change::{ApplicationCoordinate, ApplicationUpdate, HeuristicStateMismatch, UpdateContext};
+use nc_filters::{LatencyFilter, StateMismatch};
+use nc_proto::{
+    Event, GossipEntry, LinkSnapshot, NodeSnapshot, ProbeRequest, ProbeResponse, PROTOCOL_VERSION,
+};
 use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiState};
 
 use crate::config::NodeConfig;
 
 /// What one call to [`StableNode::observe`] produced.
+///
+/// This is the low-level result of digesting a single observation; the
+/// engine API ([`StableNode::handle_response`]) reports the same information
+/// as typed [`Event`]s, which is what drivers should consume.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObservationOutcome {
     /// The filtered latency estimate handed to Vivaldi, or `None` when the
@@ -45,12 +54,72 @@ pub struct NeighborSnapshot {
     pub observations: u64,
 }
 
-/// The paper's coordinate stack for one host.
+/// Error restoring a [`StableNode`] from a [`NodeSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The snapshot was taken under a different protocol version.
+    Version {
+        /// The version found in the snapshot.
+        found: u16,
+    },
+    /// The snapshot's coordinate space does not match the configuration.
+    Dimensions {
+        /// Dimensionality the configuration expects.
+        expected: usize,
+        /// Dimensionality found in the snapshot.
+        found: usize,
+    },
+    /// The snapshot's heuristic state belongs to a different heuristic
+    /// family than the configuration builds.
+    Heuristic(HeuristicStateMismatch),
+    /// A link's filter state belongs to a different filter family than the
+    /// configuration builds.
+    Filter(StateMismatch),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Version { found } => write!(
+                f,
+                "snapshot protocol version {found} does not match {PROTOCOL_VERSION}"
+            ),
+            RestoreError::Dimensions { expected, found } => write!(
+                f,
+                "snapshot coordinate space has {found} dimensions, configuration expects {expected}"
+            ),
+            RestoreError::Heuristic(e) => write!(f, "{e}"),
+            RestoreError::Filter(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// The paper's coordinate stack for one host, exposed as a sans-I/O engine.
 ///
 /// `Id` identifies remote peers (an address, an index into a membership list,
 /// a node name in a simulator — anything hashable).
 ///
-/// See the [crate-level documentation](crate) for a usage example.
+/// The engine performs no I/O and reads no clocks. A driver (simulator, UDP
+/// daemon, trace replayer) runs the protocol loop:
+///
+/// 1. [`next_probe`](StableNode::next_probe) — the engine schedules the next
+///    peer to measure, round-robin over everything it has learned about.
+/// 2. The driver delivers the [`ProbeRequest`] to the peer, whose engine
+///    answers it with [`respond`](StableNode::respond).
+/// 3. The driver measures the round trip, stamps it into the
+///    [`ProbeResponse`], and feeds it to
+///    [`handle_response`](StableNode::handle_response), which returns the
+///    typed [`Event`]s describing what the stack did with the observation.
+/// 4. Rarely, the events include [`Event::ApplicationUpdated`] — the one
+///    event the embedding application must react to.
+///
+/// [`snapshot`](StableNode::snapshot) and [`restore`](StableNode::restore)
+/// capture and revive the complete runtime state, so a node can be
+/// persisted, migrated between processes, and resume the exact same
+/// trajectory. See the [crate-level documentation](crate) for a runnable
+/// example of the full loop.
 pub struct StableNode<Id: Eq + Hash + Clone> {
     config: NodeConfig,
     vivaldi: VivaldiState,
@@ -60,6 +129,14 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     neighbors: HashMap<Id, NeighborSnapshot>,
     nearest_neighbor: Option<(Id, f64)>,
     observations: u64,
+    /// This node's own identity, when declared. Keeps the node from
+    /// scheduling probes of itself when peers gossip its address around.
+    identity: Option<Id>,
+    /// Known peers in discovery order: the round-robin probe schedule.
+    membership: Vec<Id>,
+    probe_cursor: usize,
+    probe_seq: u64,
+    gossip_cursor: usize,
 }
 
 impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id> {
@@ -102,6 +179,11 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             neighbors: HashMap::new(),
             nearest_neighbor: None,
             observations: 0,
+            identity: None,
+            membership: Vec::new(),
+            probe_cursor: 0,
+            probe_seq: 0,
+            gossip_cursor: 0,
         }
     }
 
@@ -182,11 +264,362 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         self.nearest_neighbor.as_ref().map(|(id, rtt)| (id, *rtt))
     }
 
+    /// The peers this node would cycle through when probing, in discovery
+    /// order.
+    pub fn membership(&self) -> &[Id] {
+        &self.membership
+    }
+
+    /// This node's declared identity, if any.
+    pub fn identity(&self) -> Option<&Id> {
+        self.identity.as_ref()
+    }
+
+    /// Declares this node's own identity so gossip of its own address
+    /// (learned indirectly through peers) never enters the probe schedule,
+    /// and so outgoing probes carry a `source` that responders can exclude
+    /// from their gossip payloads. Any self-entries learned before the
+    /// identity was known are dropped.
+    pub fn set_identity(&mut self, id: Id) {
+        self.membership.retain(|member| *member != id);
+        self.neighbors.remove(&id);
+        self.filters.remove(&id);
+        if self
+            .nearest_neighbor
+            .as_ref()
+            .is_some_and(|(nearest, _)| *nearest == id)
+        {
+            self.recompute_nearest_neighbor();
+        }
+        self.identity = Some(id);
+    }
+
+    /// Re-derives the nearest neighbour from the full table (minimum
+    /// filtered RTT over every observed link).
+    fn recompute_nearest_neighbor(&mut self) {
+        self.nearest_neighbor = self
+            .neighbors
+            .iter()
+            .filter_map(|(nid, snapshot)| snapshot.filtered_rtt_ms.map(|rtt| (nid.clone(), rtt)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("filtered RTTs are finite"));
+    }
+
+    // -----------------------------------------------------------------
+    // Sans-I/O engine: scheduling, wire messages, events
+    // -----------------------------------------------------------------
+
+    /// Adds a peer to the probe schedule without any coordinate information
+    /// (bootstrap membership, e.g. from a membership file). Returns `true`
+    /// when the peer was not known before.
+    pub fn seed_neighbor(&mut self, id: Id) -> bool {
+        self.register_member(id)
+    }
+
+    /// Schedules the next probe: round-robin over every known peer.
+    /// `now_ms` is the driver's clock reading, echoed through the exchange
+    /// so the driver can time it (the engine itself never reads a clock).
+    ///
+    /// Returns `None` while the node knows no peers (seed some with
+    /// [`seed_neighbor`](StableNode::seed_neighbor) or feed it gossip).
+    pub fn next_probe(&mut self, now_ms: u64) -> Option<ProbeRequest<Id>> {
+        if self.membership.is_empty() {
+            return None;
+        }
+        let idx = self.probe_cursor % self.membership.len();
+        self.probe_cursor = self.probe_cursor.wrapping_add(1);
+        let target = self.membership[idx].clone();
+        Some(self.probe_request_for(target, now_ms))
+    }
+
+    /// Builds a probe of a specific peer, registering it in the probe
+    /// schedule if it is new. Drivers that control their own schedule (the
+    /// simulator, trace replay) use this instead of
+    /// [`next_probe`](StableNode::next_probe).
+    pub fn probe_request_for(&mut self, target: Id, now_ms: u64) -> ProbeRequest<Id> {
+        self.register_member(target.clone());
+        let seq = self.probe_seq;
+        self.probe_seq = self.probe_seq.wrapping_add(1);
+        let request = ProbeRequest::new(target, seq, now_ms);
+        match &self.identity {
+            Some(me) => request.from_source(me.clone()),
+            None => request,
+        }
+    }
+
+    /// Answers a probe addressed to this node: echoes the request's
+    /// correlation fields and attaches the node's current system-level
+    /// coordinate, its error estimate and one gossiped peer (round-robin
+    /// over the membership, as in the paper's deployment protocol).
+    ///
+    /// The returned response carries `rtt_ms = 0.0`; the *prober's*
+    /// transport stamps the measured round trip in before handing the
+    /// response to [`handle_response`](StableNode::handle_response).
+    pub fn respond(&mut self, request: &ProbeRequest<Id>) -> ProbeResponse<Id> {
+        // A probe that names its sender teaches the responder a live peer —
+        // the paper's deployments bootstrap membership exactly this way.
+        if let Some(source) = &request.source {
+            self.register_member(source.clone());
+        }
+        let mut response = ProbeResponse::new(
+            request.target.clone(),
+            request,
+            self.vivaldi.coordinate().clone(),
+            self.vivaldi.error_estimate(),
+        );
+        let len = self.membership.len();
+        for _ in 0..len {
+            let idx = self.gossip_cursor % len;
+            self.gossip_cursor = self.gossip_cursor.wrapping_add(1);
+            let candidate = self.membership[idx].clone();
+            // Never gossip the prober's own address back to it.
+            if request.source.as_ref() == Some(&candidate) {
+                continue;
+            }
+            if let Some(snapshot) = self.neighbors.get(&candidate) {
+                response = response.with_gossip(GossipEntry {
+                    id: candidate,
+                    coordinate: snapshot.coordinate.clone(),
+                    error_estimate: snapshot.error_estimate,
+                });
+                break;
+            }
+        }
+        response
+    }
+
+    /// Digests one probe response: registers the responder and any gossiped
+    /// peers, runs the observation through the filter → Vivaldi →
+    /// application-update pipeline, and returns the typed events describing
+    /// what happened. The response's `rtt_ms` must already carry the
+    /// driver-measured round trip.
+    ///
+    /// A response claiming to come from this node itself (its declared
+    /// identity) is dropped without effect — a node must never become its
+    /// own neighbour, however a misrouted or hostile message is addressed.
+    /// Gossip entries whose coordinates live in a different-dimensional
+    /// space are skipped rather than stored (they could not be compared
+    /// against, or gossiped onward, without corrupting peers).
+    pub fn handle_response(&mut self, response: &ProbeResponse<Id>) -> Vec<Event<Id>> {
+        let mut events = Vec::new();
+        if self.identity.as_ref() == Some(&response.responder) {
+            return events;
+        }
+        if self.register_member(response.responder.clone()) {
+            events.push(Event::NeighborDiscovered {
+                id: response.responder.clone(),
+            });
+        }
+        let dimensions = self.config.vivaldi.dimensions();
+        for entry in &response.gossip {
+            // Our own address coming back around through gossip is not a
+            // neighbour, and a coordinate from a different-dimensional
+            // deployment is not usable information.
+            if self.identity.as_ref() == Some(&entry.id)
+                || entry.coordinate.dimensions() != dimensions
+            {
+                continue;
+            }
+            if self.register_member(entry.id.clone()) {
+                events.push(Event::NeighborDiscovered {
+                    id: entry.id.clone(),
+                });
+            }
+            // Gossip seeds the neighbour table so the peer can itself be
+            // gossiped onward, but never overwrites first-hand state.
+            self.neighbors
+                .entry(entry.id.clone())
+                .or_insert_with(|| NeighborSnapshot {
+                    coordinate: entry.coordinate.clone(),
+                    error_estimate: entry.error_estimate,
+                    filtered_rtt_ms: None,
+                    observations: 0,
+                });
+        }
+
+        let id = response.responder.clone();
+        let outcome = self.observe(
+            id.clone(),
+            response.coordinate.clone(),
+            response.error_estimate,
+            response.rtt_ms,
+        );
+        match outcome.filtered_rtt_ms {
+            None => events.push(Event::ObservationFiltered {
+                id,
+                raw_rtt_ms: response.rtt_ms,
+            }),
+            Some(filtered_rtt_ms) => match outcome.relative_error {
+                None => events.push(Event::ObservationRejected {
+                    id,
+                    filtered_rtt_ms,
+                }),
+                Some(relative_error) => {
+                    events.push(Event::SystemMoved {
+                        id,
+                        filtered_rtt_ms,
+                        displacement_ms: outcome.system_displacement_ms,
+                        relative_error,
+                        application_relative_error: outcome
+                            .application_relative_error
+                            .unwrap_or(f64::NAN),
+                    });
+                    if let Some(update) = outcome.application_update {
+                        events.push(Event::ApplicationUpdated { update });
+                    }
+                }
+            },
+        }
+        events
+    }
+
+    /// Batch path: digests many responses in order and returns the
+    /// concatenated event stream. Useful for replaying queued or logged
+    /// responses after a restore.
+    pub fn handle_many<'a, I>(&mut self, responses: I) -> Vec<Event<Id>>
+    where
+        Id: 'a,
+        I: IntoIterator<Item = &'a ProbeResponse<Id>>,
+    {
+        let mut events = Vec::new();
+        for response in responses {
+            events.extend(self.handle_response(response));
+        }
+        events
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshot / restore
+    // -----------------------------------------------------------------
+
+    /// Captures the node's complete runtime state: Vivaldi state, per-link
+    /// filter states, the application-level coordinate manager, the
+    /// neighbour table and the probe-scheduling cursors. The configuration
+    /// is *not* embedded — supply it again to
+    /// [`restore`](StableNode::restore).
+    pub fn snapshot(&self) -> NodeSnapshot<Id> {
+        let links = self
+            .membership
+            .iter()
+            .filter_map(|id| {
+                let neighbor = self.neighbors.get(id)?;
+                Some(LinkSnapshot {
+                    id: id.clone(),
+                    filter: self.filters.get(id).map(|f| f.export_state()),
+                    coordinate: neighbor.coordinate.clone(),
+                    error_estimate: neighbor.error_estimate,
+                    filtered_rtt_ms: neighbor.filtered_rtt_ms,
+                    observations: neighbor.observations,
+                })
+            })
+            .collect();
+        NodeSnapshot {
+            version: PROTOCOL_VERSION,
+            vivaldi: self.vivaldi.clone(),
+            application: self.application.export_state(),
+            links,
+            nearest_neighbor: self.nearest_neighbor.clone(),
+            observations: self.observations,
+            identity: self.identity.clone(),
+            membership: self.membership.clone(),
+            probe_cursor: self.probe_cursor,
+            probe_seq: self.probe_seq,
+            gossip_cursor: self.gossip_cursor,
+        }
+    }
+
+    /// Rebuilds a node from a snapshot and its (externally supplied)
+    /// configuration. The restored node continues the exact trajectory of
+    /// the snapshotted one: identical coordinates, filter windows,
+    /// heuristic windows and probe schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot was taken under a different protocol
+    /// version, when the coordinate spaces disagree, or when the
+    /// configuration builds a different filter or heuristic family than the
+    /// snapshot's states belong to.
+    pub fn restore(config: NodeConfig, snapshot: &NodeSnapshot<Id>) -> Result<Self, RestoreError> {
+        if snapshot.version != PROTOCOL_VERSION {
+            return Err(RestoreError::Version {
+                found: snapshot.version,
+            });
+        }
+        let expected = config.vivaldi.dimensions();
+        // Every coordinate in the snapshot must live in the configured
+        // space: the Vivaldi coordinate, the published application
+        // coordinate, every link's last-seen coordinate, and the heuristic's
+        // windowed coordinates. A single mismatched one would restore fine
+        // and then panic the first time a distance against it is computed.
+        let snapshot_coordinates = std::iter::once(snapshot.vivaldi.coordinate())
+            .chain(std::iter::once(&snapshot.application.coordinate))
+            .chain(snapshot.links.iter().map(|link| &link.coordinate))
+            .chain(heuristic_state_coordinates(&snapshot.application.heuristic));
+        for coordinate in snapshot_coordinates {
+            let found = coordinate.dimensions();
+            if expected != found {
+                return Err(RestoreError::Dimensions { expected, found });
+            }
+        }
+        let mut node = Self::new(config);
+        // Runtime state comes from the snapshot, tuning constants from the
+        // *supplied* configuration: a snapshot embeds the VivaldiConfig it
+        // ran under, but configuration is deployment input and must win, or
+        // operators changing e.g. the confidence-building margin would see
+        // restored nodes silently keep the old constants.
+        node.vivaldi = snapshot.vivaldi.clone();
+        node.vivaldi.replace_config(node.config.vivaldi.clone());
+        node.application
+            .import_state(&snapshot.application)
+            .map_err(RestoreError::Heuristic)?;
+        for link in &snapshot.links {
+            if let Some(filter_state) = &link.filter {
+                let mut filter = node.config.filter.build(node.config.warmup_samples);
+                filter
+                    .import_state(filter_state)
+                    .map_err(RestoreError::Filter)?;
+                node.filters.insert(link.id.clone(), filter);
+            }
+            node.neighbors.insert(
+                link.id.clone(),
+                NeighborSnapshot {
+                    coordinate: link.coordinate.clone(),
+                    error_estimate: link.error_estimate,
+                    filtered_rtt_ms: link.filtered_rtt_ms,
+                    observations: link.observations,
+                },
+            );
+        }
+        node.nearest_neighbor = snapshot.nearest_neighbor.clone();
+        node.observations = snapshot.observations;
+        node.identity = snapshot.identity.clone();
+        node.membership = snapshot.membership.clone();
+        node.probe_cursor = snapshot.probe_cursor;
+        node.probe_seq = snapshot.probe_seq;
+        node.gossip_cursor = snapshot.gossip_cursor;
+        Ok(node)
+    }
+
+    // -----------------------------------------------------------------
+    // Low-level observation path (compat shim)
+    // -----------------------------------------------------------------
+
     /// Feeds one raw latency observation of peer `id`.
     ///
     /// `remote_coordinate` and `remote_error_estimate` are the values the
     /// peer attached to its probe reply (its system-level coordinate and
     /// Vivaldi error estimate); `raw_rtt_ms` is the measured round-trip time.
+    ///
+    /// This is the low-level path underneath
+    /// [`handle_response`](StableNode::handle_response); prefer driving the
+    /// engine with wire messages, which also maintains gossip and neighbour
+    /// discovery and reports through typed [`Event`]s.
+    ///
+    /// An observation of the node's own declared identity, or one whose
+    /// coordinate lives in a different-dimensional space than this node's
+    /// configuration, is discarded without touching any state (the outcome
+    /// reports `filtered_rtt_ms: None`): both would otherwise corrupt the
+    /// neighbour table — the first makes the node its own neighbour, the
+    /// second panics every later distance computation against it.
     pub fn observe(
         &mut self,
         id: Id,
@@ -194,7 +627,19 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         remote_error_estimate: f64,
         raw_rtt_ms: f64,
     ) -> ObservationOutcome {
+        if self.identity.as_ref() == Some(&id)
+            || remote_coordinate.dimensions() != self.config.vivaldi.dimensions()
+        {
+            return ObservationOutcome {
+                filtered_rtt_ms: None,
+                relative_error: None,
+                application_relative_error: None,
+                system_displacement_ms: 0.0,
+                application_update: None,
+            };
+        }
         self.observations += 1;
+        self.register_member(id.clone());
 
         let filter = self
             .filters
@@ -228,14 +673,18 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         };
 
         // Maintain the approximate nearest neighbour (used by RELATIVE).
-        let is_nearer = match &self.nearest_neighbor {
+        match &self.nearest_neighbor {
+            None => self.nearest_neighbor = Some((id.clone(), filtered_rtt)),
             Some((current_id, current_rtt)) => {
-                filtered_rtt < *current_rtt || *current_id == id
+                if filtered_rtt < *current_rtt {
+                    self.nearest_neighbor = Some((id.clone(), filtered_rtt));
+                } else if *current_id == id {
+                    // The incumbent's filtered RTT rose: it may no longer be
+                    // the nearest, so re-evaluate against the whole table
+                    // (the updated entry for `id` is already in place).
+                    self.recompute_nearest_neighbor();
+                }
             }
-            None => true,
-        };
-        if is_nearer {
-            self.nearest_neighbor = Some((id.clone(), filtered_rtt));
         }
 
         // Application-level accuracy is measured against the observation
@@ -293,12 +742,43 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             application_update,
         }
     }
+
+    /// Registers a peer in the probe schedule; returns `true` when new.
+    /// The node's own identity is never registered — a node must not probe
+    /// itself, however its address comes back around through gossip.
+    fn register_member(&mut self, id: Id) -> bool {
+        if self.identity.as_ref() == Some(&id)
+            || self.neighbors.contains_key(&id)
+            || self.membership.contains(&id)
+        {
+            return false;
+        }
+        self.membership.push(id);
+        true
+    }
+}
+
+/// Every coordinate embedded in a heuristic's exported runtime state (the
+/// windowed heuristics carry whole windows of system coordinates).
+fn heuristic_state_coordinates(
+    state: &nc_change::HeuristicState,
+) -> Box<dyn Iterator<Item = &Coordinate> + '_> {
+    use nc_change::HeuristicState;
+    match state {
+        HeuristicState::Stateless => Box::new(std::iter::empty()),
+        HeuristicState::System { previous_system } => Box::new(previous_system.iter()),
+        HeuristicState::Windowed(detector) => {
+            Box::new(detector.start.iter().chain(detector.current.iter()))
+        }
+        HeuristicState::Centroid { window } => Box::new(window.iter()),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::HeuristicConfig;
+    use crate::config::{FilterConfig, HeuristicConfig};
+    use nc_proto::WireMessage;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -316,6 +796,22 @@ mod tests {
         (a, b)
     }
 
+    /// Runs one full wire exchange: `prober` probes `target` (addressed as
+    /// `target_id`), the driver measures `rtt_ms`, and the prober digests
+    /// the stamped response.
+    fn exchange(
+        prober: &mut Node,
+        target: &mut Node,
+        target_id: u32,
+        rtt_ms: f64,
+        now_ms: u64,
+    ) -> Vec<Event<u32>> {
+        let request = prober.probe_request_for(target_id, now_ms);
+        let mut response = target.respond(&request);
+        response.rtt_ms = rtt_ms;
+        prober.handle_response(&response)
+    }
+
     #[test]
     fn new_node_starts_at_origin() {
         let node = Node::new(NodeConfig::paper_defaults());
@@ -328,6 +824,18 @@ mod tests {
     #[test]
     fn pair_converges_to_link_latency() {
         let (a, b) = converge_pair(NodeConfig::paper_defaults(), 100.0, 400);
+        let estimate = a.estimate_rtt_ms(b.system_coordinate());
+        assert!((estimate - 100.0).abs() < 15.0, "estimate {estimate}");
+    }
+
+    #[test]
+    fn pair_converges_through_the_wire_api() {
+        let mut a = Node::new(NodeConfig::paper_defaults());
+        let mut b = Node::new(NodeConfig::paper_defaults());
+        for round in 0..400 {
+            exchange(&mut a, &mut b, 1, 100.0, round);
+            exchange(&mut b, &mut a, 0, 100.0, round);
+        }
         let estimate = a.estimate_rtt_ms(b.system_coordinate());
         assert!((estimate - 100.0).abs() < 15.0, "estimate {estimate}");
     }
@@ -350,18 +858,16 @@ mod tests {
         let run = |config: NodeConfig| -> f64 {
             let mut node = Node::new(config);
             let remote = Coordinate::new(vec![30.0, 40.0, 0.0]).unwrap();
-            // Skip the first 100 samples as start-up.
-            for (i, &rtt) in stream.iter().enumerate() {
+            for &rtt in stream.iter() {
                 node.observe(7, remote.clone(), 0.3, rtt);
-                if i == 100 {
-                    // reset accounting by remembering? keep simple: measure total
-                }
             }
             node.system_displacement_ms()
         };
 
         let raw = run(NodeConfig::original_vivaldi());
-        let filtered = run(NodeConfig::builder().heuristic(HeuristicConfig::FollowSystem).build());
+        let filtered = run(NodeConfig::builder()
+            .heuristic(HeuristicConfig::FollowSystem)
+            .build());
         assert!(
             filtered < raw / 3.0,
             "filtered displacement {filtered:.0} should be well below raw {raw:.0}"
@@ -382,7 +888,10 @@ mod tests {
                 app_updates += 1;
             }
         }
-        assert!(app_updates < 100, "got {app_updates} application updates for 1000 observations");
+        assert!(
+            app_updates < 100,
+            "got {app_updates} application updates for 1000 observations"
+        );
         assert!(node.application_displacement_ms() <= node.system_displacement_ms());
     }
 
@@ -397,7 +906,10 @@ mod tests {
             node.observe(1, remote.clone(), 0.5, 40.0);
             assert_eq!(node.application_coordinate(), node.system_coordinate());
         }
-        assert_eq!(node.application_displacement_ms(), node.system_displacement_ms());
+        assert_eq!(
+            node.application_displacement_ms(),
+            node.system_displacement_ms()
+        );
     }
 
     #[test]
@@ -426,6 +938,25 @@ mod tests {
     }
 
     #[test]
+    fn nearest_neighbor_reevaluated_when_incumbent_degrades() {
+        // Satellite fix: when the incumbent nearest link's filtered RTT
+        // rises above another known neighbour's, the title must be handed
+        // over, not kept by the stale incumbent.
+        let config = NodeConfig::builder().filter(FilterConfig::Raw).build();
+        let mut node = Node::new(config);
+        let a = Coordinate::new(vec![5.0, 0.0, 0.0]).unwrap();
+        let b = Coordinate::new(vec![12.0, 0.0, 0.0]).unwrap();
+        node.observe(1, a.clone(), 0.5, 10.0);
+        node.observe(2, b, 0.5, 20.0);
+        assert_eq!(node.nearest_neighbor().unwrap().0, &1);
+        // Link 1 degrades well past link 2.
+        node.observe(1, a, 0.5, 50.0);
+        let (nearest, rtt) = node.nearest_neighbor().unwrap();
+        assert_eq!(*nearest, 2, "nearest should migrate to the now-closer link");
+        assert_eq!(rtt, 20.0);
+    }
+
+    #[test]
     fn invalid_observation_changes_nothing() {
         let mut node = Node::new(NodeConfig::paper_defaults());
         let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
@@ -451,5 +982,374 @@ mod tests {
         // App coordinate is at the origin, remote at 25 ms, observation 50 ms:
         // relative error |25 - 50| / 50 = 0.5.
         assert!((app_err - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_probe_cycles_round_robin_over_seeded_members() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        assert!(node.next_probe(0).is_none(), "no peers known yet");
+        node.seed_neighbor(10);
+        node.seed_neighbor(11);
+        node.seed_neighbor(12);
+        let targets: Vec<u32> = (0..6).map(|t| node.next_probe(t).unwrap().target).collect();
+        assert_eq!(targets, vec![10, 11, 12, 10, 11, 12]);
+        let seqs: Vec<u64> = (0..3).map(|t| node.next_probe(t).unwrap().seq).collect();
+        assert_eq!(
+            seqs,
+            vec![6, 7, 8],
+            "sequence numbers increase monotonically"
+        );
+    }
+
+    #[test]
+    fn handle_response_reports_discovery_filtering_movement_and_updates() {
+        let config = NodeConfig::builder().warmup_samples(2).build();
+        let mut node = StableNode::<u32>::new(config);
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let request = node.probe_request_for(1, 0);
+        let mut response = ProbeResponse::new(1, &request, remote.clone(), 0.5);
+        response.rtt_ms = 80.0;
+
+        // First sample: the warm-up filter withholds it. The responder was
+        // registered by `probe_request_for`, so no discovery event.
+        let events = node.handle_response(&response);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            Event::ObservationFiltered { id: 1, raw_rtt_ms } if raw_rtt_ms == 80.0
+        ));
+
+        // Second sample passes the filter and moves the coordinate.
+        let events = node.handle_response(&response);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::SystemMoved { id: 1, displacement_ms, .. } if *displacement_ms > 0.0
+        )));
+    }
+
+    #[test]
+    fn gossip_discovers_new_neighbors() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let request = node.probe_request_for(1, 0);
+        let mut response =
+            ProbeResponse::new(1, &request, remote.clone(), 0.5).with_gossip(GossipEntry {
+                id: 99,
+                coordinate: remote,
+                error_estimate: 0.8,
+            });
+        response.rtt_ms = 50.0;
+        let events = node.handle_response(&response);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::NeighborDiscovered { id: 99 })));
+        assert!(node.membership().contains(&99));
+        // The gossiped peer is now in the probe rotation.
+        let targets: Vec<u32> = (0..2).map(|t| node.next_probe(t).unwrap().target).collect();
+        assert!(targets.contains(&99));
+    }
+
+    #[test]
+    fn rejected_observations_are_reported_as_events() {
+        let config = NodeConfig::builder().filter(FilterConfig::Raw).build();
+        let mut node = StableNode::<u32>::new(config);
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let request = node.probe_request_for(1, 0);
+        let mut response = ProbeResponse::new(1, &request, remote, 0.5);
+        // Beyond the Vivaldi plausibility bound but accepted by the raw
+        // filter: Vivaldi rejects it.
+        response.rtt_ms = 500_000.0;
+        let events = node.handle_response(&response);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::ObservationRejected { id: 1, .. })));
+    }
+
+    #[test]
+    fn respond_echoes_correlation_fields_and_gossips() {
+        let mut a = Node::new(NodeConfig::paper_defaults());
+        let mut b = Node::new(NodeConfig::paper_defaults());
+        // Teach b about peer 7 so it has something to gossip.
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        b.observe(7, remote, 0.5, 30.0);
+
+        let request = a.probe_request_for(1, 12_345);
+        let response = b.respond(&request);
+        assert_eq!(response.seq, request.seq);
+        assert_eq!(response.sent_at_ms, 12_345);
+        assert_eq!(response.responder, 1);
+        assert_eq!(response.coordinate, *b.system_coordinate());
+        assert_eq!(response.gossip.len(), 1);
+        assert_eq!(response.gossip[0].id, 7);
+    }
+
+    #[test]
+    fn handle_many_equals_sequential_handling() {
+        let build = || {
+            let mut node = Node::new(NodeConfig::paper_defaults());
+            node.seed_neighbor(1);
+            node
+        };
+        let remote = Coordinate::new(vec![30.0, 0.0, 0.0]).unwrap();
+        let responses: Vec<ProbeResponse<u32>> = (0..20)
+            .map(|i| {
+                let request = ProbeRequest::new(1, i, i);
+                let mut response = ProbeResponse::new(1, &request, remote.clone(), 0.5);
+                response.rtt_ms = 60.0 + (i % 5) as f64;
+                response
+            })
+            .collect();
+
+        let mut batch_node = build();
+        let batch_events = batch_node.handle_many(&responses);
+        let mut seq_node = build();
+        let mut seq_events = Vec::new();
+        for response in &responses {
+            seq_events.extend(seq_node.handle_response(response));
+        }
+        assert_eq!(batch_events, seq_events);
+        assert_eq!(batch_node.system_coordinate(), seq_node.system_coordinate());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identical_trajectory() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let config = NodeConfig::paper_defaults();
+        let mut original = Node::new(config.clone());
+        let remote_a = Coordinate::new(vec![40.0, 10.0, 0.0]).unwrap();
+        let remote_b = Coordinate::new(vec![5.0, 60.0, 0.0]).unwrap();
+
+        // Drive the node through the wire API for a while.
+        for i in 0..300u64 {
+            let (peer, coordinate) = if i % 2 == 0 {
+                (1, &remote_a)
+            } else {
+                (2, &remote_b)
+            };
+            let request = original.probe_request_for(peer, i);
+            let mut response = ProbeResponse::new(peer, &request, coordinate.clone(), 0.4);
+            response.rtt_ms = 55.0 + rng.gen_range(-6.0..6.0);
+            original.handle_response(&response);
+        }
+
+        // Snapshot, serialize to the wire form, restore.
+        let encoded = original.snapshot().encode();
+        let snapshot = NodeSnapshot::<u32>::decode(&encoded).unwrap();
+        let mut restored = Node::restore(config, &snapshot).unwrap();
+        assert_eq!(restored.system_coordinate(), original.system_coordinate());
+        assert_eq!(
+            restored.application_coordinate(),
+            original.application_coordinate()
+        );
+        assert_eq!(restored.observations(), original.observations());
+
+        // Both must produce identical event streams on the same subsequent
+        // observation sequence — including filter windows and heuristic
+        // windows, which is what a naive coordinate-only restore would miss.
+        for i in 0..200u64 {
+            let (peer, coordinate) = if i % 2 == 0 {
+                (1, &remote_a)
+            } else {
+                (2, &remote_b)
+            };
+            let rtt = 55.0 + rng.gen_range(-6.0..6.0);
+            let request_o = original.probe_request_for(peer, i);
+            let request_r = restored.probe_request_for(peer, i);
+            assert_eq!(request_o, request_r, "probe schedules stay in lockstep");
+            let mut response_o = ProbeResponse::new(peer, &request_o, coordinate.clone(), 0.4);
+            response_o.rtt_ms = rtt;
+            let events_o = original.handle_response(&response_o);
+            let events_r = restored.handle_response(&response_o);
+            assert_eq!(events_o, events_r, "event streams diverged at step {i}");
+        }
+        assert_eq!(restored.system_coordinate(), original.system_coordinate());
+    }
+
+    #[test]
+    fn identity_keeps_self_out_of_gossip_and_probe_schedule() {
+        let mut a = Node::new(NodeConfig::paper_defaults());
+        let mut b = Node::new(NodeConfig::paper_defaults());
+        a.set_identity(0);
+        b.set_identity(1);
+        // Many exchanges in both directions: b learns a (as requester and
+        // neighbour) and must never gossip a's address back, and a must
+        // never schedule itself even if the address leaks around.
+        for round in 0..20 {
+            exchange(&mut a, &mut b, 1, 40.0, round);
+            exchange(&mut b, &mut a, 0, 40.0, round);
+        }
+        assert!(
+            !a.membership().contains(&0),
+            "a scheduled itself: {:?}",
+            a.membership()
+        );
+        assert!(
+            !b.membership().contains(&1),
+            "b scheduled itself: {:?}",
+            b.membership()
+        );
+        for t in 0..4 {
+            assert_ne!(a.next_probe(t).unwrap().target, 0, "a probed itself");
+        }
+        // Even a (buggy or hostile) peer gossiping a's own address at it is
+        // ignored.
+        let request = a.probe_request_for(1, 0);
+        assert_eq!(
+            request.source,
+            Some(0),
+            "probes carry the declared identity"
+        );
+        let mut response =
+            ProbeResponse::new(1, &request, Coordinate::origin(3), 0.5).with_gossip(GossipEntry {
+                id: 0,
+                coordinate: Coordinate::origin(3),
+                error_estimate: 0.5,
+            });
+        response.rtt_ms = 40.0;
+        let events = a.handle_response(&response);
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, Event::NeighborDiscovered { id: 0 })));
+        assert!(!a.membership().contains(&0));
+        assert!(!a.neighbors().any(|(id, _)| *id == 0));
+    }
+
+    #[test]
+    fn restore_applies_the_supplied_vivaldi_constants() {
+        // A snapshot embeds the VivaldiConfig it ran under; restore must
+        // override it with the supplied configuration (deployment input),
+        // not silently keep the old constants. Observable via confidence
+        // building: under a huge error margin the restored node treats the
+        // next observation as already explained and does not move.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![30.0, 0.0, 0.0]).unwrap();
+        for _ in 0..50 {
+            node.observe(1, remote.clone(), 0.5, 60.0);
+        }
+        let snapshot = node.snapshot();
+
+        let margin_config = NodeConfig::builder()
+            .vivaldi(
+                nc_vivaldi::VivaldiConfig::paper_defaults()
+                    .with_confidence_building(Some(10_000.0)),
+            )
+            .build();
+        let mut with_margin = Node::restore(margin_config, &snapshot).unwrap();
+        let outcome = with_margin.observe(1, remote.clone(), 0.5, 60.0);
+        assert_eq!(
+            outcome.system_displacement_ms, 0.0,
+            "the new error margin must be in effect after restore"
+        );
+
+        let mut without_margin = Node::restore(NodeConfig::paper_defaults(), &snapshot).unwrap();
+        let outcome = without_margin.observe(1, remote, 0.5, 60.0);
+        assert!(
+            outcome.system_displacement_ms > 0.0,
+            "original constants keep moving the coordinate"
+        );
+    }
+
+    #[test]
+    fn mismatched_dimensionality_is_discarded_not_a_panic() {
+        // A peer from a differently-configured deployment (or a hostile one)
+        // sending a 2-D coordinate into a 3-D node must be ignored, not
+        // crash the engine inside a distance computation.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let request = node.probe_request_for(1, 0);
+        let flat = Coordinate::new(vec![10.0, 5.0]).unwrap();
+        let mut response = ProbeResponse::new(1, &request, flat.clone(), 0.5);
+        response.rtt_ms = 40.0;
+        let events = node.handle_response(&response);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::ObservationFiltered { id: 1, .. })));
+        assert!(node.neighbors().next().is_none(), "nothing was stored");
+
+        // A well-dimensioned responder gossiping a flat coordinate is kept,
+        // but the flat gossip entry is dropped.
+        let request = node.probe_request_for(2, 1);
+        let good = Coordinate::new(vec![10.0, 5.0, 1.0]).unwrap();
+        let mut response = ProbeResponse::new(2, &request, good, 0.5).with_gossip(GossipEntry {
+            id: 3,
+            coordinate: flat,
+            error_estimate: 0.5,
+        });
+        response.rtt_ms = 40.0;
+        node.handle_response(&response);
+        assert!(node.neighbors().any(|(id, _)| *id == 2));
+        assert!(!node.neighbors().any(|(id, _)| *id == 3));
+    }
+
+    #[test]
+    fn self_addressed_response_is_dropped() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        node.set_identity(0);
+        node.seed_neighbor(1);
+        // A hostile or misrouted response claiming to come from the node
+        // itself must not make it its own neighbour (with a ~0 ms loopback
+        // RTT it would otherwise become its own nearest neighbour and break
+        // the RELATIVE heuristic's locale scaling).
+        let request = node.probe_request_for(1, 0);
+        let mut response = ProbeResponse::new(0, &request, Coordinate::origin(3), 0.5);
+        response.rtt_ms = 0.5;
+        let events = node.handle_response(&response);
+        assert!(events.is_empty());
+        assert!(node.neighbors().next().is_none());
+        assert_eq!(node.nearest_neighbor(), None);
+        assert_eq!(node.observations(), 0);
+    }
+
+    #[test]
+    fn restore_rejects_dimensionally_inconsistent_snapshots() {
+        // The vivaldi coordinate alone passing the dimension check must not
+        // let a snapshot with a flat link coordinate through — it would
+        // restore fine and panic later when that link is compared against.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        node.observe(1, remote, 0.5, 40.0);
+        let mut snapshot = node.snapshot();
+        snapshot.links[0].coordinate = Coordinate::new(vec![10.0, 0.0]).unwrap();
+        assert!(matches!(
+            Node::restore(NodeConfig::paper_defaults(), &snapshot),
+            Err(RestoreError::Dimensions {
+                expected: 3,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_incompatible_snapshots() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        node.observe(1, remote, 0.5, 40.0);
+        let snapshot = node.snapshot();
+
+        // Wrong protocol version.
+        let mut versioned = snapshot.clone();
+        versioned.version = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            Node::restore(NodeConfig::paper_defaults(), &versioned),
+            Err(RestoreError::Version { .. })
+        ));
+
+        // Wrong dimensionality.
+        let config_2d = NodeConfig::builder()
+            .vivaldi(nc_vivaldi::VivaldiConfig::paper_defaults().with_dimensions(2))
+            .build();
+        assert!(matches!(
+            Node::restore(config_2d, &snapshot),
+            Err(RestoreError::Dimensions {
+                expected: 2,
+                found: 3
+            })
+        ));
+
+        // Wrong filter family.
+        let config_ewma = NodeConfig::builder()
+            .filter(FilterConfig::Ewma { alpha: 0.1 })
+            .build();
+        let err = Node::restore(config_ewma, &snapshot).unwrap_err();
+        assert!(matches!(err, RestoreError::Filter(_)), "{err}");
     }
 }

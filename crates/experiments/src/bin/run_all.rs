@@ -21,31 +21,138 @@ fn main() {
     let quick = scale == Scale::Quick;
 
     banner("Figure 2");
-    println!("{}", fig02::run(if quick { fig02::Fig02Config::quick() } else { fig02::Fig02Config::standard() }).render());
+    println!(
+        "{}",
+        fig02::run(if quick {
+            fig02::Fig02Config::quick()
+        } else {
+            fig02::Fig02Config::standard()
+        })
+        .render()
+    );
     banner("Figure 3");
-    println!("{}", fig03::run(if quick { fig03::Fig03Config::quick() } else { fig03::Fig03Config::standard() }).render());
+    println!(
+        "{}",
+        fig03::run(if quick {
+            fig03::Fig03Config::quick()
+        } else {
+            fig03::Fig03Config::standard()
+        })
+        .render()
+    );
     banner("Figure 4");
-    println!("{}", fig04::run(if quick { fig04::Fig04Config::quick() } else { fig04::Fig04Config::standard() }).render());
+    println!(
+        "{}",
+        fig04::run(if quick {
+            fig04::Fig04Config::quick()
+        } else {
+            fig04::Fig04Config::standard()
+        })
+        .render()
+    );
     banner("Figure 5");
-    println!("{}", fig05::run(if quick { fig05::Fig05Config::quick() } else { fig05::Fig05Config::standard() }).render());
+    println!(
+        "{}",
+        fig05::run(if quick {
+            fig05::Fig05Config::quick()
+        } else {
+            fig05::Fig05Config::standard()
+        })
+        .render()
+    );
     banner("Table I");
-    println!("{}", table1::run(if quick { table1::Table1Config::quick() } else { table1::Table1Config::standard() }).render());
+    println!(
+        "{}",
+        table1::run(if quick {
+            table1::Table1Config::quick()
+        } else {
+            table1::Table1Config::standard()
+        })
+        .render()
+    );
     banner("Figure 6");
-    println!("{}", fig06::run(fig06::Fig06Config::for_scale(scale)).render());
+    println!(
+        "{}",
+        fig06::run(fig06::Fig06Config::for_scale(scale)).render()
+    );
     banner("Figure 7");
-    println!("{}", fig07::run(if quick { fig07::Fig07Config::quick() } else { fig07::Fig07Config::standard() }).render());
+    println!(
+        "{}",
+        fig07::run(if quick {
+            fig07::Fig07Config::quick()
+        } else {
+            fig07::Fig07Config::standard()
+        })
+        .render()
+    );
     banner("Figure 8");
-    println!("{}", fig08::run(if quick { fig08::Fig08Config::quick() } else { fig08::Fig08Config::standard() }).render());
+    println!(
+        "{}",
+        fig08::run(if quick {
+            fig08::Fig08Config::quick()
+        } else {
+            fig08::Fig08Config::standard()
+        })
+        .render()
+    );
     banner("Figure 9");
-    println!("{}", fig09::run(if quick { fig09::Fig09Config::quick() } else { fig09::Fig09Config::standard() }).render());
+    println!(
+        "{}",
+        fig09::run(if quick {
+            fig09::Fig09Config::quick()
+        } else {
+            fig09::Fig09Config::standard()
+        })
+        .render()
+    );
     banner("Figure 10");
-    println!("{}", fig10::run(if quick { fig10::Fig10Config::quick() } else { fig10::Fig10Config::standard() }).render());
+    println!(
+        "{}",
+        fig10::run(if quick {
+            fig10::Fig10Config::quick()
+        } else {
+            fig10::Fig10Config::standard()
+        })
+        .render()
+    );
     banner("Figure 11");
-    println!("{}", fig11::run(if quick { fig11::Fig11Config::quick() } else { fig11::Fig11Config::standard() }).render());
+    println!(
+        "{}",
+        fig11::run(if quick {
+            fig11::Fig11Config::quick()
+        } else {
+            fig11::Fig11Config::standard()
+        })
+        .render()
+    );
     banner("Figure 12");
-    println!("{}", fig12::run(if quick { fig12::Fig12Config::quick() } else { fig12::Fig12Config::standard() }).render());
+    println!(
+        "{}",
+        fig12::run(if quick {
+            fig12::Fig12Config::quick()
+        } else {
+            fig12::Fig12Config::standard()
+        })
+        .render()
+    );
     banner("Figure 13");
-    println!("{}", fig13::run(if quick { fig13::Fig13Config::quick() } else { fig13::Fig13Config::standard() }).render());
+    println!(
+        "{}",
+        fig13::run(if quick {
+            fig13::Fig13Config::quick()
+        } else {
+            fig13::Fig13Config::standard()
+        })
+        .render()
+    );
     banner("Figure 14");
-    println!("{}", fig14::run(if quick { fig14::Fig14Config::quick() } else { fig14::Fig14Config::standard() }).render());
+    println!(
+        "{}",
+        fig14::run(if quick {
+            fig14::Fig14Config::quick()
+        } else {
+            fig14::Fig14Config::standard()
+        })
+        .render()
+    );
 }

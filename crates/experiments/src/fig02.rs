@@ -22,7 +22,9 @@ pub struct Fig02Config {
 impl Fig02Config {
     /// Seconds-scale run for tests.
     pub fn quick() -> Self {
-        Fig02Config { scale: Scale::Quick }
+        Fig02Config {
+            scale: Scale::Quick,
+        }
     }
 
     /// Default run for the binary.
@@ -48,7 +50,8 @@ pub struct Fig02Result {
 impl Fig02Result {
     /// Renders the histogram table and the headline tail fraction.
     pub fn render(&self) -> String {
-        let mut out = String::from("Figure 2: histogram of raw latency measurements (all links)\n\n");
+        let mut out =
+            String::from("Figure 2: histogram of raw latency measurements (all links)\n\n");
         out.push_str("  bin (ms)        count\n");
         out.push_str(&self.histogram.to_table());
         out.push_str(&format!(

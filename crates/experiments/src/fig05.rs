@@ -26,7 +26,9 @@ pub struct Fig05Config {
 impl Fig05Config {
     /// Seconds-scale run for tests.
     pub fn quick() -> Self {
-        Fig05Config { scale: Scale::Quick }
+        Fig05Config {
+            scale: Scale::Quick,
+        }
     }
 
     /// Default run for the binary.
@@ -55,16 +57,24 @@ impl Fig05Result {
     pub fn median_error_cdfs(&self) -> (Ecdf, Ecdf) {
         (
             self.mp.median_relative_error_cdf().expect("mp has samples"),
-            self.raw.median_relative_error_cdf().expect("raw has samples"),
+            self.raw
+                .median_relative_error_cdf()
+                .expect("raw has samples"),
         )
     }
 
     /// Renders every panel of the figure as text.
     pub fn render(&self) -> String {
+        /// Extracts one panel's per-node series from a configuration's metrics.
+        type PanelSeries = fn(&ConfigMetrics) -> Vec<f64>;
         let mut out = String::from("Figure 5: MP filter vs no filter\n\n");
-        let panels: [(&str, fn(&ConfigMetrics) -> Vec<f64>); 4] = [
-            ("median relative error per node", |m| m.median_relative_errors()),
-            ("95th percentile relative error per node", |m| m.p95_relative_errors()),
+        let panels: [(&str, PanelSeries); 4] = [
+            ("median relative error per node", |m| {
+                m.median_relative_errors()
+            }),
+            ("95th percentile relative error per node", |m| {
+                m.p95_relative_errors()
+            }),
             ("95th percentile coordinate change per node (ms)", |m| {
                 m.p95_coordinate_changes()
             }),
@@ -188,7 +198,10 @@ mod tests {
                 .map(|(i, _)| i)
                 .unwrap()
         };
-        assert_eq!(busiest(&result.raw_histogram), busiest(&result.filtered_histogram));
+        assert_eq!(
+            busiest(&result.raw_histogram),
+            busiest(&result.filtered_histogram)
+        );
     }
 
     #[test]

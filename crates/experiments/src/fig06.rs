@@ -160,7 +160,10 @@ mod tests {
             without < with,
             "without building ({without:.3}) should trail with building ({with:.3})"
         );
-        assert!(without < 0.95, "jitter should keep confidence below ~95%: {without:.3}");
+        assert!(
+            without < 0.95,
+            "jitter should keep confidence below ~95%: {without:.3}"
+        );
     }
 
     #[test]

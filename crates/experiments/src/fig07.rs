@@ -115,13 +115,14 @@ pub fn run(config: Fig07Config) -> Fig07Result {
 
     let workload =
         nc_netsim::planetlab::PlanetLabConfig::small(config.scale.node_count()).with_seed(20050502);
-    let sim_config = nc_netsim::sim::SimConfig::new(
-        config.scale.duration_s(),
-        config.scale.probe_interval_s(),
-    )
-    .with_measurement_start(config.scale.measurement_start_s())
-    .with_initial_neighbors(8.min(config.scale.node_count() - 1))
-    .with_tracked_nodes(tracked.iter().map(|(n, _)| *n).collect(), config.track_interval_s);
+    let sim_config =
+        nc_netsim::sim::SimConfig::new(config.scale.duration_s(), config.scale.probe_interval_s())
+            .with_measurement_start(config.scale.measurement_start_s())
+            .with_initial_neighbors(8.min(config.scale.node_count() - 1))
+            .with_tracked_nodes(
+                tracked.iter().map(|(n, _)| *n).collect(),
+                config.track_interval_s,
+            );
     let report = nc_netsim::sim::Simulator::new(
         workload,
         sim_config,
@@ -187,7 +188,10 @@ mod tests {
         // At least one node shows genuine net displacement rather than pure
         // oscillation.
         assert!(
-            result.trajectories.iter().any(|t| t.net_displacement_ms > 1.0),
+            result
+                .trajectories
+                .iter()
+                .any(|t| t.net_displacement_ms > 1.0),
             "coordinates should drift, not just wiggle"
         );
     }

@@ -23,7 +23,9 @@ pub struct Fig11Config {
 impl Fig11Config {
     /// Seconds-scale run for tests.
     pub fn quick() -> Self {
-        Fig11Config { scale: Scale::Quick }
+        Fig11Config {
+            scale: Scale::Quick,
+        }
     }
 
     /// Default run for the binary.
@@ -48,7 +50,8 @@ pub struct Fig11Result {
 impl Fig11Result {
     /// Renders the two CDF panels.
     pub fn render(&self) -> String {
-        let mut out = String::from("Figure 11: application-level suppression vs the raw MP filter\n\n");
+        let mut out =
+            String::from("Figure 11: application-level suppression vs the raw MP filter\n\n");
         let configs = [
             ("Energy+MP Filter", &self.energy),
             ("Relative+MP Filter", &self.relative),
@@ -56,13 +59,21 @@ impl Fig11Result {
         ];
         for (name, metrics) in configs {
             if let Ok(cdf) = Ecdf::new(metrics.application_median_relative_errors()) {
-                out.push_str(&render_cdf(&format!("median relative error — {name}"), &cdf, 10));
+                out.push_str(&render_cdf(
+                    &format!("median relative error — {name}"),
+                    &cdf,
+                    10,
+                ));
             }
         }
         out.push('\n');
         for (name, metrics) in configs {
             if let Ok(cdf) = Ecdf::new(metrics.per_node_application_instability()) {
-                out.push_str(&render_cdf(&format!("instability (ms/s) — {name}"), &cdf, 10));
+                out.push_str(&render_cdf(
+                    &format!("instability (ms/s) — {name}"),
+                    &cdf,
+                    10,
+                ));
             }
         }
         out.push_str(&format!(

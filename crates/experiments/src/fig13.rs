@@ -24,7 +24,9 @@ pub struct Fig13Config {
 impl Fig13Config {
     /// Seconds-scale run for tests.
     pub fn quick() -> Self {
-        Fig13Config { scale: Scale::Quick }
+        Fig13Config {
+            scale: Scale::Quick,
+        }
     }
 
     /// Default run for the binary.
@@ -46,7 +48,9 @@ impl Fig13Result {
     /// Metrics of one of the four configurations (`energy+mp`, `raw-mp`,
     /// `energy+nofilter`, `raw-nofilter`).
     pub fn config(&self, name: &str) -> &ConfigMetrics {
-        self.report.config(name).expect("all four configurations ran")
+        self.report
+            .config(name)
+            .expect("all four configurations ran")
     }
 
     /// Median over nodes of the per-node 95th-percentile application-level
@@ -104,7 +108,11 @@ impl Fig13Result {
         out.push('\n');
         for (label, name) in names {
             if let Ok(cdf) = Ecdf::new(self.config(name).per_node_application_instability()) {
-                out.push_str(&render_cdf(&format!("instability (ms/s) — {label}"), &cdf, 10));
+                out.push_str(&render_cdf(
+                    &format!("instability (ms/s) — {label}"),
+                    &cdf,
+                    10,
+                ));
             }
         }
         out.push_str(&format!(

@@ -69,17 +69,24 @@ impl Fig14Result {
         for (caption, select) in [
             (
                 "median relative error per interval",
-                (|s: &ConfigTimeSeries| s.error_over_time.clone()) as fn(&ConfigTimeSeries) -> Vec<(f64, f64)>,
+                (|s: &ConfigTimeSeries| s.error_over_time.clone())
+                    as fn(&ConfigTimeSeries) -> Vec<(f64, f64)>,
             ),
-            ("mean instability per interval (ms/s)", |s: &ConfigTimeSeries| {
-                s.instability_over_time.clone()
-            }),
+            (
+                "mean instability per interval (ms/s)",
+                |s: &ConfigTimeSeries| s.instability_over_time.clone(),
+            ),
         ] {
             out.push_str(&format!("{caption}:\n"));
             let mut headers = vec!["time (h)".to_string()];
             headers.extend(self.series.iter().map(|s| s.name.clone()));
             let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-            let bin_count = self.series.iter().map(|s| select(s).len()).max().unwrap_or(0);
+            let bin_count = self
+                .series
+                .iter()
+                .map(|s| select(s).len())
+                .max()
+                .unwrap_or(0);
             let mut rows = Vec::new();
             for bin in 0..bin_count {
                 let mut row = Vec::new();
@@ -106,7 +113,12 @@ impl Fig14Result {
     }
 }
 
-fn series_for(name: &str, metrics: &ConfigMetrics, duration_s: f64, bin_width_s: f64) -> ConfigTimeSeries {
+fn series_for(
+    name: &str,
+    metrics: &ConfigMetrics,
+    duration_s: f64,
+    bin_width_s: f64,
+) -> ConfigTimeSeries {
     let node_count = metrics.nodes.len().max(1) as f64;
     let mut error_binner = TimeBinner::new(0.0, bin_width_s).expect("positive width");
     let mut displacement_binner = TimeBinner::new(0.0, bin_width_s).expect("positive width");
@@ -145,18 +157,17 @@ fn series_for(name: &str, metrics: &ConfigMetrics, duration_s: f64, bin_width_s:
 pub fn run(config: Fig14Config) -> Fig14Result {
     let workload =
         nc_netsim::planetlab::PlanetLabConfig::small(config.scale.node_count()).with_seed(20050502);
-    let sim_config = nc_netsim::sim::SimConfig::new(
-        config.scale.duration_s(),
-        config.scale.probe_interval_s(),
-    )
-    .with_measurement_start(0.0)
-    .with_initial_neighbors(8.min(config.scale.node_count() - 1));
-    let report =
-        nc_netsim::sim::Simulator::new(workload, sim_config, deployment_configs()).run();
+    let sim_config =
+        nc_netsim::sim::SimConfig::new(config.scale.duration_s(), config.scale.probe_interval_s())
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(8.min(config.scale.node_count() - 1));
+    let report = nc_netsim::sim::Simulator::new(workload, sim_config, deployment_configs()).run();
 
     let series = report
         .iter()
-        .map(|(name, metrics)| series_for(name, metrics, config.scale.duration_s(), config.bin_width_s))
+        .map(|(name, metrics)| {
+            series_for(name, metrics, config.scale.duration_s(), config.bin_width_s)
+        })
         .collect();
     Fig14Result { series }
 }
@@ -170,7 +181,11 @@ mod tests {
         let result = run(Fig14Config::quick());
         assert_eq!(result.series.len(), 4);
         for s in &result.series {
-            assert!(!s.error_over_time.is_empty(), "{} has no error bins", s.name);
+            assert!(
+                !s.error_over_time.is_empty(),
+                "{} has no error bins",
+                s.name
+            );
         }
     }
 

@@ -48,13 +48,17 @@ pub use workloads::Scale;
 /// `standard`). Unknown values fall back to `standard` with a note on
 /// stderr.
 pub fn scale_from_args() -> Scale {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "standard".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "standard".to_string());
     match arg.as_str() {
         "quick" => Scale::Quick,
         "standard" => Scale::Standard,
         "paper" => Scale::Paper,
         other => {
-            eprintln!("unknown scale '{other}', using 'standard' (choices: quick, standard, paper)");
+            eprintln!(
+                "unknown scale '{other}', using 'standard' (choices: quick, standard, paper)"
+            );
             Scale::Standard
         }
     }

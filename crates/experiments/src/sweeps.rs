@@ -46,9 +46,7 @@ pub fn application_summary(family: &str, parameter: f64, metrics: &ConfigMetrics
 pub fn run_sweep(scale: Scale, entries: Vec<(String, f64, NodeConfig)>) -> Vec<SweepPoint> {
     let named: Vec<(String, NodeConfig)> = entries
         .iter()
-        .map(|(family, parameter, config)| {
-            (format!("{family}@{parameter}"), config.clone())
-        })
+        .map(|(family, parameter, config)| (format!("{family}@{parameter}"), config.clone()))
         .collect();
     let report = coordinate_simulator(scale, named).run();
     entries
@@ -78,7 +76,13 @@ pub fn render_sweep(caption: &str, points: &[SweepPoint]) -> String {
         .collect();
     let mut out = format!("{caption}\n\n");
     out.push_str(&format_table(
-        &["heuristic", "parameter", "median rel error", "instability", "updates/node/s"],
+        &[
+            "heuristic",
+            "parameter",
+            "median rel error",
+            "instability",
+            "updates/node/s",
+        ],
         &rows,
     ));
     out
@@ -87,7 +91,11 @@ pub fn render_sweep(caption: &str, points: &[SweepPoint]) -> String {
 /// Points of one family, ordered by parameter.
 pub fn family_points<'a>(points: &'a [SweepPoint], family: &str) -> Vec<&'a SweepPoint> {
     let mut out: Vec<&SweepPoint> = points.iter().filter(|p| p.family == family).collect();
-    out.sort_by(|a, b| a.parameter.partial_cmp(&b.parameter).expect("finite parameters"));
+    out.sort_by(|a, b| {
+        a.parameter
+            .partial_cmp(&b.parameter)
+            .expect("finite parameters")
+    });
     out
 }
 
@@ -103,14 +111,20 @@ mod tests {
                 "ENERGY".to_string(),
                 4.0,
                 NodeConfig::builder()
-                    .heuristic(HeuristicConfig::Energy { threshold: 4.0, window: 8 })
+                    .heuristic(HeuristicConfig::Energy {
+                        threshold: 4.0,
+                        window: 8,
+                    })
                     .build(),
             ),
             (
                 "ENERGY".to_string(),
                 64.0,
                 NodeConfig::builder()
-                    .heuristic(HeuristicConfig::Energy { threshold: 64.0, window: 8 })
+                    .heuristic(HeuristicConfig::Energy {
+                        threshold: 64.0,
+                        window: 8,
+                    })
                     .build(),
             ),
         ];

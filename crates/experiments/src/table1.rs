@@ -22,7 +22,9 @@ pub struct Table1Config {
 impl Table1Config {
     /// Seconds-scale run for tests.
     pub fn quick() -> Self {
-        Table1Config { scale: Scale::Quick }
+        Table1Config {
+            scale: Scale::Quick,
+        }
     }
 
     /// Default run for the binary.
@@ -79,7 +81,13 @@ impl Table1Result {
             .collect();
         let mut out = String::from("Table I: exponentially-weighted histories\n\n");
         out.push_str(&format_table(
-            &["filter", "median rel error", "vs none", "instability", "vs none"],
+            &[
+                "filter",
+                "median rel error",
+                "vs none",
+                "instability",
+                "vs none",
+            ],
             &rows,
         ));
         out
@@ -108,9 +116,18 @@ pub fn run(config: Table1Config) -> Table1Result {
     let configs = vec![
         ("mp".to_string(), follow(FilterConfig::paper_mp())),
         ("none".to_string(), follow(FilterConfig::Raw)),
-        ("ewma02".to_string(), follow(FilterConfig::Ewma { alpha: 0.02 })),
-        ("ewma10".to_string(), follow(FilterConfig::Ewma { alpha: 0.10 })),
-        ("ewma20".to_string(), follow(FilterConfig::Ewma { alpha: 0.20 })),
+        (
+            "ewma02".to_string(),
+            follow(FilterConfig::Ewma { alpha: 0.02 }),
+        ),
+        (
+            "ewma10".to_string(),
+            follow(FilterConfig::Ewma { alpha: 0.10 }),
+        ),
+        (
+            "ewma20".to_string(),
+            follow(FilterConfig::Ewma { alpha: 0.20 }),
+        ),
     ];
     let report = coordinate_simulator(config.scale, configs).run();
     Table1Result {

@@ -9,7 +9,7 @@
 //! experiments compare against.
 
 use crate::moving_percentile::InvalidFilterParameter;
-use crate::LatencyFilter;
+use crate::{FilterState, LatencyFilter, StateMismatch};
 
 /// Exponentially-weighted moving average of raw observations.
 ///
@@ -78,6 +78,27 @@ impl LatencyFilter for EwmaFilter {
     fn reset(&mut self) {
         self.value = None;
         self.seen = 0;
+    }
+
+    fn export_state(&self) -> FilterState {
+        FilterState::Ewma {
+            value: self.value,
+            seen: self.seen,
+        }
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        match state {
+            FilterState::Ewma { value, seen } => {
+                self.value = *value;
+                self.seen = *seen;
+                Ok(())
+            }
+            other => Err(StateMismatch {
+                expected: "ewma",
+                found: other.family(),
+            }),
+        }
     }
 }
 

@@ -55,6 +55,82 @@ pub use raw::RawFilter;
 pub use threshold::ThresholdFilter;
 pub use warmup::WarmupFilter;
 
+/// The serializable runtime state of a per-link filter.
+///
+/// Filters are small state machines; this enum captures exactly the fields
+/// that evolve at run time (window contents, counters), not the
+/// configuration (history size, percentile, cut-off), which is supplied
+/// separately when a filter is rebuilt. Used by snapshot/restore: a filter
+/// exports its state with [`LatencyFilter::export_state`] and a freshly
+/// configured filter re-adopts it with [`LatencyFilter::import_state`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FilterState {
+    /// State of a [`RawFilter`].
+    Raw {
+        /// The last valid observation, if any.
+        last: Option<f64>,
+        /// Number of valid observations consumed.
+        seen: u64,
+    },
+    /// State of a [`MovingPercentileFilter`] or [`MovingMedianFilter`].
+    MovingPercentile {
+        /// The sliding observation window, oldest first.
+        window: Vec<f64>,
+        /// Number of valid observations consumed.
+        seen: u64,
+    },
+    /// State of an [`EwmaFilter`].
+    Ewma {
+        /// The current smoothed estimate, if initialised.
+        value: Option<f64>,
+        /// Number of valid observations consumed.
+        seen: u64,
+    },
+    /// State of a [`ThresholdFilter`].
+    Threshold {
+        /// The last observation that passed the cut-off.
+        last_passed: Option<f64>,
+        /// Number of valid observations consumed.
+        seen: u64,
+        /// Number of observations discarded by the cut-off.
+        discarded: u64,
+    },
+}
+
+impl FilterState {
+    /// The filter family this state belongs to, for error messages.
+    pub fn family(&self) -> &'static str {
+        match self {
+            FilterState::Raw { .. } => "raw",
+            FilterState::MovingPercentile { .. } => "moving-percentile",
+            FilterState::Ewma { .. } => "ewma",
+            FilterState::Threshold { .. } => "threshold",
+        }
+    }
+}
+
+/// Error returned when a filter is asked to adopt state exported by a filter
+/// of a different family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateMismatch {
+    /// The family of the filter doing the importing.
+    pub expected: &'static str,
+    /// The family the state was exported from.
+    pub found: &'static str,
+}
+
+impl std::fmt::Display for StateMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot restore a {} filter from {} state",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for StateMismatch {}
+
 /// A per-link latency filter.
 ///
 /// A filter receives the raw observation stream of **one** link and emits the
@@ -82,6 +158,19 @@ pub trait LatencyFilter {
     /// Resets the filter to its initial state (used when a link is considered
     /// dead and later reappears).
     fn reset(&mut self);
+
+    /// Exports the filter's runtime state for persistence.
+    fn export_state(&self) -> FilterState;
+
+    /// Adopts runtime state previously produced by
+    /// [`export_state`](LatencyFilter::export_state) on a filter of the same
+    /// family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateMismatch`] when `state` was exported by a different
+    /// filter family; the filter is left unchanged in that case.
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch>;
 }
 
 /// Identifies a filter family for configuration and reporting purposes.
@@ -139,15 +228,22 @@ mod tests {
         ] {
             let mut f = make_filter(kind);
             let out = f.observe(50.0);
-            assert!(out.is_some() || kind == FilterKind::MovingPercentile || kind == FilterKind::MovingMedian,
-                "{kind} swallowed a valid observation unexpectedly");
+            assert!(
+                out.is_some()
+                    || kind == FilterKind::MovingPercentile
+                    || kind == FilterKind::MovingMedian,
+                "{kind} swallowed a valid observation unexpectedly"
+            );
             assert_eq!(f.observations_seen(), 1);
         }
     }
 
     #[test]
     fn filter_kind_display_is_nonempty() {
-        assert_eq!(FilterKind::MovingPercentile.to_string(), "moving-percentile");
+        assert_eq!(
+            FilterKind::MovingPercentile.to_string(),
+            "moving-percentile"
+        );
         assert_eq!(FilterKind::Raw.to_string(), "raw");
     }
 
@@ -156,5 +252,42 @@ mod tests {
         fn assert_send<T: Send>(_: &T) {}
         let f = make_filter(FilterKind::Raw);
         assert_send(&f);
+    }
+
+    #[test]
+    fn state_round_trips_through_a_fresh_filter() {
+        for kind in [
+            FilterKind::Raw,
+            FilterKind::MovingPercentile,
+            FilterKind::MovingMedian,
+            FilterKind::Ewma,
+            FilterKind::Threshold,
+        ] {
+            let mut original = make_filter(kind);
+            for raw in [80.0, 90.0, 4_000.0, 85.0, 82.0] {
+                original.observe(raw);
+            }
+            let state = original.export_state();
+            let mut restored = make_filter(kind);
+            restored.import_state(&state).expect("same family restores");
+            assert_eq!(
+                restored.current_estimate(),
+                original.current_estimate(),
+                "{kind}"
+            );
+            assert_eq!(restored.observations_seen(), original.observations_seen());
+            // Both continue identically.
+            assert_eq!(restored.observe(88.0), original.observe(88.0), "{kind}");
+        }
+    }
+
+    #[test]
+    fn importing_foreign_state_is_rejected() {
+        let mut ewma = make_filter(FilterKind::Ewma);
+        let raw_state = make_filter(FilterKind::Raw).export_state();
+        let err = ewma.import_state(&raw_state).unwrap_err();
+        assert_eq!(err.expected, "ewma");
+        assert_eq!(err.found, "raw");
+        assert!(!err.to_string().is_empty());
     }
 }

@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 
 use nc_stats::percentile::percentile_of_sorted;
 
-use crate::LatencyFilter;
+use crate::{FilterState, LatencyFilter, StateMismatch};
 
 /// Error constructing a filter with invalid parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +128,30 @@ impl LatencyFilter for MovingPercentileFilter {
         self.window.clear();
         self.seen = 0;
     }
+
+    fn export_state(&self) -> FilterState {
+        FilterState::MovingPercentile {
+            window: self.window.iter().copied().collect(),
+            seen: self.seen,
+        }
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        match state {
+            FilterState::MovingPercentile { window, seen } => {
+                // Keep only the newest `history_size` entries so a state
+                // exported under a larger history still restores sanely.
+                let start = window.len().saturating_sub(self.history_size);
+                self.window = window[start..].iter().copied().collect();
+                self.seen = *seen;
+                Ok(())
+            }
+            other => Err(StateMismatch {
+                expected: "moving-percentile",
+                found: other.family(),
+            }),
+        }
+    }
 }
 
 /// Moving-median filter: the `p = 50` special case of the moving-percentile
@@ -172,6 +196,14 @@ impl LatencyFilter for MovingMedianFilter {
 
     fn reset(&mut self) {
         self.inner.reset()
+    }
+
+    fn export_state(&self) -> FilterState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        self.inner.import_state(state)
     }
 }
 
@@ -223,7 +255,10 @@ mod tests {
                 estimates.push(e);
             }
         }
-        assert!(estimates.iter().all(|&e| e < 100.0), "estimates {estimates:?}");
+        assert!(
+            estimates.iter().all(|&e| e < 100.0),
+            "estimates {estimates:?}"
+        );
     }
 
     #[test]
@@ -237,7 +272,10 @@ mod tests {
         for _ in 0..4 {
             last = f.observe(150.0).unwrap();
         }
-        assert!((last - 150.0).abs() < 1e-9, "filter should adapt within h samples, got {last}");
+        assert!(
+            (last - 150.0).abs() < 1e-9,
+            "filter should adapt within h samples, got {last}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Identity pass-through — the "No Filter" configuration.
 
-use crate::LatencyFilter;
+use crate::{FilterState, LatencyFilter, StateMismatch};
 
 /// Passes every valid observation straight through. This is the
 /// configuration the paper calls "No Filter" / "Raw": the original Vivaldi
@@ -48,6 +48,27 @@ impl LatencyFilter for RawFilter {
     fn reset(&mut self) {
         self.last = None;
         self.seen = 0;
+    }
+
+    fn export_state(&self) -> FilterState {
+        FilterState::Raw {
+            last: self.last,
+            seen: self.seen,
+        }
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        match state {
+            FilterState::Raw { last, seen } => {
+                self.last = *last;
+                self.seen = *seen;
+                Ok(())
+            }
+            other => Err(StateMismatch {
+                expected: "raw",
+                found: other.family(),
+            }),
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 //! outliers are 500 ms.
 
 use crate::moving_percentile::InvalidFilterParameter;
-use crate::LatencyFilter;
+use crate::{FilterState, LatencyFilter, StateMismatch};
 
 /// Pass-through filter that drops observations above a fixed cut-off.
 ///
@@ -85,6 +85,33 @@ impl LatencyFilter for ThresholdFilter {
         self.last_passed = None;
         self.seen = 0;
         self.discarded = 0;
+    }
+
+    fn export_state(&self) -> FilterState {
+        FilterState::Threshold {
+            last_passed: self.last_passed,
+            seen: self.seen,
+            discarded: self.discarded,
+        }
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        match state {
+            FilterState::Threshold {
+                last_passed,
+                seen,
+                discarded,
+            } => {
+                self.last_passed = *last_passed;
+                self.seen = *seen;
+                self.discarded = *discarded;
+                Ok(())
+            }
+            other => Err(StateMismatch {
+                expected: "threshold",
+                found: other.family(),
+            }),
+        }
     }
 }
 

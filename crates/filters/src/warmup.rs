@@ -10,7 +10,7 @@
 //! filter and suppresses output until `min_samples` observations have been
 //! consumed.
 
-use crate::LatencyFilter;
+use crate::{FilterState, LatencyFilter, StateMismatch};
 
 /// Wraps an inner filter and suppresses its output until `min_samples`
 /// observations of the link have been seen.
@@ -79,6 +79,17 @@ impl<F: LatencyFilter> LatencyFilter for WarmupFilter<F> {
     fn reset(&mut self) {
         self.inner.reset();
     }
+
+    // The warm-up requirement is configuration, not state: delegating both
+    // directions makes a warm-up-wrapped filter round-trip against the bare
+    // inner filter's state.
+    fn export_state(&self) -> FilterState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        self.inner.import_state(state)
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +121,11 @@ mod tests {
         let mut protected = WarmupFilter::new(MovingPercentileFilter::paper_defaults(), 2);
         let first_unprotected = unprotected.observe(30_000.0);
         let first_protected = protected.observe(30_000.0);
-        assert_eq!(first_unprotected, Some(30_000.0), "without warm-up the outlier leaks");
+        assert_eq!(
+            first_unprotected,
+            Some(30_000.0),
+            "without warm-up the outlier leaks"
+        );
         assert_eq!(first_protected, None, "warm-up withholds the outlier");
         // From the second sample on, the MP window still contains the outlier
         // but the low percentile hides it.

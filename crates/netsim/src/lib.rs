@@ -8,11 +8,11 @@
 //!
 //! * [`topology`] — places nodes in geographic regions and derives realistic
 //!   base round-trip times between them.
-//! * [`linkmodel`] — per-link observation model: base RTT + lognormal jitter
-//!   + a heavy-tailed outlier process + slow drift and occasional
-//!   route-change level shifts. Calibrated so the aggregate histogram has
-//!   the shape of the paper's Figure 2 (≈ 0.4 % of samples above one
-//!   second) and individual links look like Figure 3.
+//! * [`linkmodel`] — per-link observation model: base RTT + lognormal
+//!   jitter + a heavy-tailed outlier process + slow drift and occasional
+//!   route-change level shifts. Calibrated so the aggregate histogram
+//!   has the shape of the paper's Figure 2 (≈ 0.4 % of samples above
+//!   one second) and individual links look like Figure 3.
 //! * [`trace`] — materialises ping traces (who pinged whom, when, observed
 //!   RTT) from the link models, in the paper's measurement schedule.
 //! * [`planetlab`] — the full synthetic PlanetLab workload (269 nodes by

@@ -276,7 +276,10 @@ mod tests {
             ..LinkModelConfig::default()
         };
         let m = LinkModel::new(100.0, config, 86_400.0, 17);
-        assert!(m.route_shift_count() > 0, "expected at least one route shift");
+        assert!(
+            m.route_shift_count() > 0,
+            "expected at least one route shift"
+        );
         let early = m.underlying_rtt_ms(0.0);
         let late = m.underlying_rtt_ms(86_000.0);
         assert!(

@@ -232,7 +232,11 @@ impl ConfigMetrics {
         if self.measurement_duration_s <= 0.0 || self.nodes.is_empty() {
             return 0.0;
         }
-        let total_updates: usize = self.nodes.iter().map(|n| n.application_update_count()).sum();
+        let total_updates: usize = self
+            .nodes
+            .iter()
+            .map(|n| n.application_update_count())
+            .sum();
         total_updates as f64 / (self.measurement_duration_s * self.nodes.len() as f64)
     }
 
@@ -308,11 +312,8 @@ impl SimReport {
 
     /// Iterates over `(name, metrics)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfigMetrics)> {
-        let mut entries: Vec<(&str, &ConfigMetrics)> = self
-            .configs
-            .iter()
-            .map(|(k, v)| (k.as_str(), v))
-            .collect();
+        let mut entries: Vec<(&str, &ConfigMetrics)> =
+            self.configs.iter().map(|(k, v)| (k.as_str(), v)).collect();
         entries.sort_by_key(|(k, _)| *k);
         entries.into_iter()
     }
@@ -324,8 +325,16 @@ mod tests {
 
     fn node_with(errors: &[f64], displacements: &[f64]) -> NodeMetrics {
         NodeMetrics {
-            system_errors: errors.iter().enumerate().map(|(i, &e)| (i as f64, e)).collect(),
-            application_errors: errors.iter().enumerate().map(|(i, &e)| (i as f64, e / 2.0)).collect(),
+            system_errors: errors
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| (i as f64, e))
+                .collect(),
+            application_errors: errors
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| (i as f64, e / 2.0))
+                .collect(),
             system_displacements: displacements
                 .iter()
                 .enumerate()

@@ -26,7 +26,7 @@ impl PlanetLabConfig {
     pub fn paper_scale() -> Self {
         PlanetLabConfig {
             node_count: 269,
-            seed: 2005_05_02,
+            seed: 20050502,
             link_config: LinkModelConfig::default(),
         }
     }
@@ -35,7 +35,7 @@ impl PlanetLabConfig {
     pub fn deployment_scale() -> Self {
         PlanetLabConfig {
             node_count: 270,
-            seed: 2005_06_24,
+            seed: 20050624,
             link_config: LinkModelConfig::default(),
         }
     }

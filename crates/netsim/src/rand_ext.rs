@@ -56,7 +56,10 @@ pub fn pareto<R: Rng + ?Sized>(rng: &mut R, scale: f64, alpha: f64) -> f64 {
 ///
 /// Panics when `lambda` is not a positive finite number.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
-    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be positive"
+    );
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     -u.ln() / lambda
 }
@@ -99,7 +102,10 @@ mod tests {
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(mean > median, "lognormal is right-skewed: mean {mean} median {median}");
+        assert!(
+            mean > median,
+            "lognormal is right-skewed: mean {mean} median {median}"
+        );
     }
 
     #[test]
@@ -109,7 +115,10 @@ mod tests {
         assert!(samples.iter().all(|&v| v >= 100.0));
         // With alpha = 1 roughly 1% of samples exceed 100x the scale.
         let extreme = samples.iter().filter(|&&v| v > 10_000.0).count();
-        assert!(extreme > 100, "expected a heavy tail, got {extreme} extreme samples");
+        assert!(
+            extreme > 100,
+            "expected a heavy tail, got {extreme} extreme samples"
+        );
     }
 
     #[test]

@@ -15,9 +15,18 @@
 //! set in round-robin order at a fixed interval, neighbour sets start small
 //! and grow through gossip (each probe reply carries the address of one other
 //! node the target knows about).
+//!
+//! The simulator is a *driver* of the sans-I/O engine: every probe runs the
+//! full wire exchange — [`StableNode::probe_request_for`] →
+//! [`StableNode::respond`] → stamp the sampled RTT into the
+//! [`ProbeResponse`](nc_proto::ProbeResponse) →
+//! [`StableNode::handle_response`] — and the metrics are folded from the
+//! returned [`Event`] stream, exactly as a deployed daemon would consume
+//! them.
 
 use std::collections::HashMap;
 
+use nc_proto::Event;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -156,12 +165,19 @@ impl Simulator {
         sim_config: SimConfig,
         configs: Vec<(String, NodeConfig)>,
     ) -> Self {
-        assert!(!configs.is_empty(), "at least one configuration is required");
+        assert!(
+            !configs.is_empty(),
+            "at least one configuration is required"
+        );
         {
             let mut names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
             names.sort_unstable();
             names.dedup();
-            assert_eq!(names.len(), configs.len(), "configuration names must be unique");
+            assert_eq!(
+                names.len(),
+                configs.len(),
+                "configuration names must be unique"
+            );
         }
         let topology = workload.build_topology();
         let n = topology.len();
@@ -238,7 +254,8 @@ impl Simulator {
     /// Runs the simulation to completion and returns the collected metrics.
     pub fn run(&mut self) -> SimReport {
         let n = self.topology.len();
-        let steps = (self.sim_config.duration_s / self.sim_config.probe_interval_s).floor() as usize;
+        let steps =
+            (self.sim_config.duration_s / self.sim_config.probe_interval_s).floor() as usize;
         let measurement_start = self.sim_config.measurement_start_s;
         let track_every = (self.sim_config.track_interval_s / self.sim_config.probe_interval_s)
             .round()
@@ -261,31 +278,46 @@ impl Simulator {
 
                 // One raw observation shared by every configuration.
                 let rtt_ms = self.sample_link(src, dst, time_s);
+                let now_ms = (time_s * 1_000.0) as u64;
 
                 for run in &mut self.runs {
-                    let (remote_coord, remote_error) = {
-                        let remote = &run.nodes[dst];
-                        (remote.system_coordinate().clone(), remote.error_estimate())
-                    };
-                    let outcome = run.nodes[src].observe(dst, remote_coord, remote_error, rtt_ms);
+                    // The full sans-I/O wire exchange: src builds a probe,
+                    // dst answers it, the "network" (this simulator) stamps
+                    // the measured round trip in, src digests the events.
+                    let request = run.nodes[src].probe_request_for(dst, now_ms);
+                    let mut response = run.nodes[dst].respond(&request);
+                    response.rtt_ms = rtt_ms;
+                    let events = run.nodes[src].handle_response(&response);
                     if measuring {
                         let node_metrics = &mut run.metrics.nodes[src];
                         node_metrics.observations += 1;
-                        if let Some(err) = outcome.relative_error {
-                            node_metrics.system_errors.push((time_s, err));
-                        }
-                        if let Some(err) = outcome.application_relative_error {
-                            node_metrics.application_errors.push((time_s, err));
-                        }
-                        if outcome.system_displacement_ms > 0.0 {
-                            node_metrics
-                                .system_displacements
-                                .push((time_s, outcome.system_displacement_ms));
-                        }
-                        if let Some(update) = &outcome.application_update {
-                            node_metrics
-                                .application_displacements
-                                .push((time_s, update.displacement_ms));
+                        for event in &events {
+                            match event {
+                                Event::SystemMoved {
+                                    displacement_ms,
+                                    relative_error,
+                                    application_relative_error,
+                                    ..
+                                } => {
+                                    node_metrics.system_errors.push((time_s, *relative_error));
+                                    node_metrics
+                                        .application_errors
+                                        .push((time_s, *application_relative_error));
+                                    if *displacement_ms > 0.0 {
+                                        node_metrics
+                                            .system_displacements
+                                            .push((time_s, *displacement_ms));
+                                    }
+                                }
+                                Event::ApplicationUpdated { update } => {
+                                    node_metrics
+                                        .application_displacements
+                                        .push((time_s, update.displacement_ms));
+                                }
+                                Event::NeighborDiscovered { .. }
+                                | Event::ObservationFiltered { .. }
+                                | Event::ObservationRejected { .. } => {}
+                            }
                         }
                     }
                 }
@@ -294,7 +326,9 @@ impl Simulator {
                 // neighbour set; the prober adds it. Identical across
                 // configurations because it only affects the probe schedule.
                 if self.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
-                    let idx = self.protocol_rng.gen_range(0..self.neighbor_sets[dst].len());
+                    let idx = self
+                        .protocol_rng
+                        .gen_range(0..self.neighbor_sets[dst].len());
                     let learned = self.neighbor_sets[dst][idx];
                     if learned != src && !self.neighbor_sets[src].contains(&learned) {
                         self.neighbor_sets[src].push(learned);
@@ -371,7 +405,10 @@ mod tests {
             .iter()
             .filter(|n| !n.system_errors.is_empty())
             .count();
-        assert!(with_samples >= 10, "most nodes should have measured samples");
+        assert!(
+            with_samples >= 10,
+            "most nodes should have measured samples"
+        );
         assert!(metrics.aggregate_instability() > 0.0);
     }
 
@@ -433,14 +470,20 @@ mod tests {
         let before: usize = sim.neighbor_sets.iter().map(|s| s.len()).sum();
         sim.run();
         let after: usize = sim.neighbor_sets.iter().map(|s| s.len()).sum();
-        assert!(after > before, "gossip should add neighbours ({before} -> {after})");
+        assert!(
+            after > before,
+            "gossip should add neighbours ({before} -> {after})"
+        );
     }
 
     #[test]
     fn identical_seeds_give_identical_reports() {
         let run = || {
             let report = quick_sim(vec![("mp".into(), NodeConfig::paper_defaults())]);
-            report.config("mp").unwrap().median_of_median_relative_error()
+            report
+                .config("mp")
+                .unwrap()
+                .median_of_median_relative_error()
         };
         assert_eq!(run(), run());
     }

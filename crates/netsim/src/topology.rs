@@ -290,12 +290,12 @@ mod tests {
     fn rtt_matrix_matches_pairwise_calls() {
         let t = Topology::generate(10, 5);
         let m = t.base_rtt_matrix();
-        for i in 0..10 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..10 {
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &rtt) in row.iter().enumerate() {
                 if i != j {
-                    assert_eq!(m[i][j], t.base_rtt_ms(i, j));
-                    assert_eq!(m[i][j], m[j][i]);
+                    assert_eq!(rtt, t.base_rtt_ms(i, j));
+                    assert_eq!(rtt, m[j][i]);
                 }
             }
         }
@@ -307,7 +307,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..20 {
             for j in (i + 1)..20 {
-                assert!(seen.insert(t.pair_index(i, j)), "duplicate index for ({i},{j})");
+                assert!(
+                    seen.insert(t.pair_index(i, j)),
+                    "duplicate index for ({i},{j})"
+                );
             }
         }
         assert_eq!(seen.len(), 20 * 19 / 2);

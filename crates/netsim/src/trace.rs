@@ -231,7 +231,10 @@ mod tests {
         for r in records.iter().filter(|r| r.src == 0) {
             destinations.insert(r.dst);
         }
-        assert!(destinations.len() >= 6, "node 0 should probe most peers, got {destinations:?}");
+        assert!(
+            destinations.len() >= 6,
+            "node 0 should probe most peers, got {destinations:?}"
+        );
     }
 
     #[test]

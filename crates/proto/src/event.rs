@@ -1,0 +1,128 @@
+//! Typed events emitted by a sans-I/O coordinate engine.
+//!
+//! Every probe response an engine digests produces zero or more events
+//! describing what the coordinate stack did with the observation. Drivers
+//! consume the stream instead of poking at node internals: a simulator folds
+//! events into its metrics, a daemon forwards [`Event::ApplicationUpdated`]
+//! to the embedding application, a debugger logs everything.
+
+use nc_change::ApplicationUpdate;
+use serde::{Deserialize, Serialize};
+
+/// One thing the engine did while digesting a probe response.
+///
+/// The variants mirror the stages of the paper's stack: the per-link filter
+/// may suppress the raw sample, Vivaldi may reject the filtered sample as
+/// implausible, an accepted sample moves the system-level coordinate, and
+/// the update heuristic occasionally publishes an application-level update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event<Id> {
+    /// A peer was seen for the first time (as a responder or through
+    /// gossip) and entered the neighbour table / probe schedule.
+    NeighborDiscovered {
+        /// The newly discovered peer.
+        id: Id,
+    },
+    /// The per-link filter consumed the raw sample but suppressed its
+    /// output (warm-up, threshold discard, or an invalid sample), so
+    /// nothing reached Vivaldi.
+    ObservationFiltered {
+        /// The probed peer.
+        id: Id,
+        /// The raw round-trip time that was withheld.
+        raw_rtt_ms: f64,
+    },
+    /// Vivaldi rejected the filtered sample as implausible (non-finite,
+    /// non-positive, or beyond the configured latency bound); no state
+    /// changed.
+    ObservationRejected {
+        /// The probed peer.
+        id: Id,
+        /// The filtered round-trip time that was rejected.
+        filtered_rtt_ms: f64,
+    },
+    /// An accepted observation updated the system-level coordinate. Emitted
+    /// for every accepted observation; `displacement_ms` is `0.0` when
+    /// confidence building judged the sample within the measurement-error
+    /// margin and left the coordinate in place.
+    SystemMoved {
+        /// The probed peer.
+        id: Id,
+        /// The filtered round-trip time handed to Vivaldi.
+        filtered_rtt_ms: f64,
+        /// Magnitude of the coordinate movement (milliseconds).
+        displacement_ms: f64,
+        /// Relative error of the pre-update system coordinate against the
+        /// filtered observation (§II-A accuracy metric).
+        relative_error: f64,
+        /// Relative error of the application-level coordinate against the
+        /// filtered observation (the accuracy an embedding application
+        /// experiences, §V-B).
+        application_relative_error: f64,
+    },
+    /// The update heuristic published a new application-level coordinate —
+    /// the rare, significant event an embedding application reacts to.
+    ApplicationUpdated {
+        /// The published change.
+        update: ApplicationUpdate,
+    },
+}
+
+impl<Id> Event<Id> {
+    /// The peer this event concerns, when it concerns one.
+    pub fn peer(&self) -> Option<&Id> {
+        match self {
+            Event::NeighborDiscovered { id }
+            | Event::ObservationFiltered { id, .. }
+            | Event::ObservationRejected { id, .. }
+            | Event::SystemMoved { id, .. } => Some(id),
+            Event::ApplicationUpdated { .. } => None,
+        }
+    }
+
+    /// True for [`Event::ApplicationUpdated`] — the only event an embedding
+    /// application must react to.
+    pub fn is_application_update(&self) -> bool {
+        matches!(self, Event::ApplicationUpdated { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_vivaldi::Coordinate;
+
+    #[test]
+    fn peer_accessor_covers_all_variants() {
+        let filtered: Event<u32> = Event::ObservationFiltered {
+            id: 3,
+            raw_rtt_ms: 5_000.0,
+        };
+        assert_eq!(filtered.peer(), Some(&3));
+        assert!(!filtered.is_application_update());
+
+        let update: Event<u32> = Event::ApplicationUpdated {
+            update: ApplicationUpdate {
+                previous: Coordinate::origin(2),
+                current: Coordinate::new(vec![3.0, 4.0]).unwrap(),
+                displacement_ms: 5.0,
+            },
+        };
+        assert_eq!(update.peer(), None);
+        assert!(update.is_application_update());
+    }
+
+    #[test]
+    fn events_serialize_round_trip() {
+        let event: Event<String> = Event::SystemMoved {
+            id: "peer".into(),
+            filtered_rtt_ms: 80.0,
+            displacement_ms: 1.25,
+            relative_error: 0.1,
+            application_relative_error: 0.2,
+        };
+        let text = serde::json::to_string(&event);
+        let back: Event<String> = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, event);
+    }
+}

@@ -1,0 +1,62 @@
+//! Sans-I/O protocol layer for the stable-coordinates stack.
+//!
+//! The coordinate subsystem of *Stable and Accurate Network Coordinates* is
+//! something a distributed application *embeds*: probes carry a coordinate
+//! and an error estimate on the wire, and the application consumes a stream
+//! of rare, significant updates. This crate defines that boundary without
+//! performing any I/O itself, so the same engine can be driven by the
+//! discrete-event simulator, a UDP daemon, or a trace replayer:
+//!
+//! * [`ProbeRequest`] / [`ProbeResponse`] — the versioned wire messages of
+//!   the probe protocol, carrying the responder's system-level coordinate,
+//!   its Vivaldi error estimate, a gossip payload of known peers, and the
+//!   driver-supplied timestamps used to measure the round trip.
+//! * [`Event`] — the typed observations an engine emits while digesting
+//!   responses: filter suppressions, Vivaldi rejections, system-level
+//!   movement, application-level updates and neighbour discovery.
+//! * [`NodeSnapshot`] — the full serializable runtime state of a node
+//!   (Vivaldi state, per-link filter states, application-level coordinate
+//!   manager state, neighbour table and probe-scheduling cursors) for
+//!   persist/restore and process migration.
+//!
+//! All messages serialize through [`WireMessage`] to JSON with an explicit
+//! [`PROTOCOL_VERSION`] tag; decoding a message produced by a different
+//! protocol version fails with [`WireError::VersionMismatch`] instead of
+//! misinterpreting fields.
+//!
+//! # Example: one request/response exchange on the wire
+//!
+//! ```
+//! use nc_proto::{ProbeRequest, ProbeResponse, WireMessage, PROTOCOL_VERSION};
+//! use nc_vivaldi::Coordinate;
+//!
+//! let request: ProbeRequest<String> = ProbeRequest::new("peer-b".into(), 7, 1_000);
+//! let text = request.encode();
+//! let decoded = ProbeRequest::<String>::decode(&text).unwrap();
+//! assert_eq!(decoded, request);
+//!
+//! let mut response = ProbeResponse::new(
+//!     "peer-b".to_string(),
+//!     &request,
+//!     Coordinate::new(vec![10.0, 20.0, 0.0]).unwrap(),
+//!     0.35,
+//! );
+//! // The prober's transport measures the round trip and stamps it in before
+//! // handing the response to the engine.
+//! response.rtt_ms = 42.0;
+//! assert_eq!(response.version, PROTOCOL_VERSION);
+//! assert_eq!(response.seq, 7);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod event;
+pub mod snapshot;
+pub mod wire;
+
+pub use event::Event;
+pub use snapshot::{LinkSnapshot, NodeSnapshot};
+pub use wire::{
+    GossipEntry, ProbeRequest, ProbeResponse, WireError, WireMessage, PROTOCOL_VERSION,
+};

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn empty_is_error() {
-        assert_eq!(BoxplotSummary::from_samples(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(
+            BoxplotSummary::from_samples(&[]),
+            Err(StatsError::EmptyInput)
+        );
     }
 
     #[test]

@@ -100,7 +100,9 @@ impl Histogram {
         let log_lo = lo.ln();
         let log_hi = hi.ln();
         let step = (log_hi - log_lo) / bins as f64;
-        let edges = (0..=bins).map(|i| (log_lo + step * i as f64).exp()).collect();
+        let edges = (0..=bins)
+            .map(|i| (log_lo + step * i as f64).exp())
+            .collect();
         Ok(Self::from_edge_vec(edges, false))
     }
 
@@ -118,8 +120,10 @@ impl Histogram {
         if edges.len() < 2 {
             return Err(StatsError::InvalidParameter("need at least two edges"));
         }
-        if edges.windows(2).any(|w| !(w[0] < w[1])) || edges.iter().any(|e| !e.is_finite()) {
-            return Err(StatsError::InvalidParameter("edges must be strictly increasing"));
+        if edges.iter().any(|e| !e.is_finite()) || edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StatsError::InvalidParameter(
+                "edges must be strictly increasing",
+            ));
         }
         Ok(Self::from_edge_vec(edges.to_vec(), open_ended))
     }

@@ -8,7 +8,7 @@
 //! This crate collects every statistical primitive those measurements and
 //! heuristics need:
 //!
-//! * [`percentile`] — quantiles over sorted or unsorted data with linear
+//! * [`percentile`](mod@percentile) — quantiles over sorted or unsorted data with linear
 //!   interpolation (used by the moving-percentile filter and by every
 //!   figure's "median"/"95th percentile" summaries).
 //! * [`summary`] — streaming mean/variance/min/max (Welford), used by the
@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn error_display_is_nonempty() {
         assert!(!StatsError::EmptyInput.to_string().is_empty());
-        assert!(!StatsError::InvalidParameter("threshold").to_string().is_empty());
+        assert!(!StatsError::InvalidParameter("threshold")
+            .to_string()
+            .is_empty());
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::EmptyInput);
     }
     if !p.is_finite() || !(0.0..=100.0).contains(&p) {
-        return Err(StatsError::InvalidParameter("percentile must be in 0..=100"));
+        return Err(StatsError::InvalidParameter(
+            "percentile must be in 0..=100",
+        ));
     }
     if sorted.len() == 1 {
         return Ok(sorted[0]);
@@ -113,7 +115,9 @@ pub fn percentiles(data: &[f64], ps: &[f64]) -> Result<Vec<f64>, StatsError> {
     }
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
-    ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect()
+    ps.iter()
+        .map(|&p| percentile_of_sorted(&sorted, p))
+        .collect()
 }
 
 #[cfg(test)]

@@ -97,7 +97,10 @@ impl VivaldiConfig {
     ///
     /// Panics when `dimensions == 0`.
     pub fn with_dimensions(mut self, dimensions: usize) -> Self {
-        assert!(dimensions > 0, "coordinate space must have at least one dimension");
+        assert!(
+            dimensions > 0,
+            "coordinate space must have at least one dimension"
+        );
         self.dimensions = dimensions;
         self
     }
@@ -145,7 +148,10 @@ impl VivaldiConfig {
     ///
     /// Panics when the value is outside `(0.0, 1.0]`.
     pub fn with_initial_error_estimate(mut self, estimate: f64) -> Self {
-        assert!(estimate > 0.0 && estimate <= 1.0, "initial error estimate must be in (0, 1]");
+        assert!(
+            estimate > 0.0 && estimate <= 1.0,
+            "initial error estimate must be in (0, 1]"
+        );
         self.initial_error_estimate = estimate;
         self
     }
@@ -156,7 +162,10 @@ impl VivaldiConfig {
     ///
     /// Panics when the bound is not a positive finite number.
     pub fn with_max_observed_latency_ms(mut self, bound: f64) -> Self {
-        assert!(bound.is_finite() && bound > 0.0, "latency bound must be positive");
+        assert!(
+            bound.is_finite() && bound > 0.0,
+            "latency bound must be positive"
+        );
         self.max_observed_latency_ms = bound;
         self
     }

@@ -28,10 +28,25 @@ pub const MIN_HEIGHT: f64 = 0.0;
 /// let b = Coordinate::origin(3);
 /// assert_eq!(a.distance(&b), 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Coordinate {
     components: Vec<f64>,
     height: f64,
+}
+
+// Hand-written so that *decoding* enforces the same invariants as
+// construction: a coordinate arriving off the wire (probe response, gossip
+// entry, snapshot) with non-finite components, a negative height, or zero
+// dimensions is a malformed message, not a valid value. Deriving this impl
+// would let a crafted payload inject NaN/∞ into the coordinate space, where
+// it propagates to every distance computation and, via gossip, to peers.
+impl Deserialize for Coordinate {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let components = Vec::<f64>::from_value(serde::de_field(value, "components")?)?;
+        let height = f64::from_value(serde::de_field(value, "height")?)?;
+        Coordinate::with_height(components, height)
+            .map_err(|e| serde::Error::msg(format!("invalid coordinate: {e}")))
+    }
 }
 
 impl Coordinate {
@@ -72,7 +87,10 @@ impl Coordinate {
     /// Panics if `dimensions == 0`; a zero-dimensional latency space is
     /// meaningless and always indicates a configuration bug.
     pub fn origin(dimensions: usize) -> Self {
-        assert!(dimensions > 0, "coordinate space must have at least one dimension");
+        assert!(
+            dimensions > 0,
+            "coordinate space must have at least one dimension"
+        );
         Coordinate {
             components: vec![0.0; dimensions],
             height: 0.0,
@@ -360,6 +378,37 @@ mod tests {
         ];
         let c = Coordinate::centroid(&coords).unwrap();
         assert_eq!(c.components(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn deserializing_enforces_construction_invariants() {
+        // A well-formed coordinate round-trips…
+        let c = Coordinate::with_height(vec![1.0, -2.5], 3.0).unwrap();
+        assert_eq!(Coordinate::from_value(&c.to_value()).unwrap(), c);
+        // …but payloads violating the invariants are rejected: non-finite
+        // components (serialized as null), empty dimension lists, negative
+        // heights.
+        let nan = serde::Value::Map(vec![
+            (
+                "components".into(),
+                serde::Value::Seq(vec![serde::Value::Null, serde::Value::Float(1.0)]),
+            ),
+            ("height".into(), serde::Value::Float(0.0)),
+        ]);
+        assert!(Coordinate::from_value(&nan).is_err());
+        let empty = serde::Value::Map(vec![
+            ("components".into(), serde::Value::Seq(vec![])),
+            ("height".into(), serde::Value::Float(0.0)),
+        ]);
+        assert!(Coordinate::from_value(&empty).is_err());
+        let sunken = serde::Value::Map(vec![
+            (
+                "components".into(),
+                serde::Value::Seq(vec![serde::Value::Float(1.0)]),
+            ),
+            ("height".into(), serde::Value::Float(-4.0)),
+        ]);
+        assert!(Coordinate::from_value(&sunken).is_err());
     }
 
     #[test]

@@ -17,12 +17,20 @@ pub struct RemoteObservation {
 
 impl RemoteObservation {
     /// Builds an observation. The remote error estimate is clamped into
-    /// `[MIN_ERROR_ESTIMATE, 1.0]` and the RTT is used as provided (the state
-    /// machine validates it against the configured plausibility bound).
+    /// `[MIN_ERROR_ESTIMATE, 1.0]` — a non-finite value (possible from a
+    /// corrupt or hostile wire message, since `NaN.clamp(..)` stays NaN) is
+    /// treated as 1.0, i.e. a completely unconfident peer. The RTT is used
+    /// as provided (the state machine validates it against the configured
+    /// plausibility bound).
     pub fn new(remote_coordinate: Coordinate, remote_error_estimate: f64, rtt_ms: f64) -> Self {
+        let remote_error_estimate = if remote_error_estimate.is_finite() {
+            remote_error_estimate.clamp(MIN_ERROR_ESTIMATE, 1.0)
+        } else {
+            1.0
+        };
         RemoteObservation {
             remote_coordinate,
-            remote_error_estimate: remote_error_estimate.clamp(MIN_ERROR_ESTIMATE, 1.0),
+            remote_error_estimate,
             rtt_ms,
         }
     }
@@ -143,6 +151,33 @@ impl VivaldiState {
         state
     }
 
+    /// Replaces the tuning constants while keeping the runtime state
+    /// (coordinate, error estimate, counters, tie-break RNG). Used when
+    /// restoring persisted state under a — possibly updated — deployment
+    /// configuration: the constants always come from the configuration, the
+    /// trajectory from the persisted state. The error estimate is
+    /// re-clamped into its valid range so corrupt persisted values cannot
+    /// enter the update rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new configuration's dimensionality does not match
+    /// the current coordinate (callers restoring from untrusted input must
+    /// check dimensions first).
+    pub fn replace_config(&mut self, config: VivaldiConfig) {
+        assert_eq!(
+            self.coordinate.dimensions(),
+            config.dimensions(),
+            "replacement configuration must match the coordinate dimensionality"
+        );
+        self.config = config;
+        self.error_estimate = if self.error_estimate.is_finite() {
+            self.error_estimate.clamp(MIN_ERROR_ESTIMATE, 1.0)
+        } else {
+            1.0
+        };
+    }
+
     /// The node's current system-level coordinate `x_i`.
     pub fn coordinate(&self) -> &Coordinate {
         &self.coordinate
@@ -224,8 +259,8 @@ impl VivaldiState {
 
         // Lines 3–4: adaptive EWMA of the error estimate.
         let alpha = self.config.ce() * ws;
-        self.error_estimate =
-            (alpha * sample_error + (1.0 - alpha) * self.error_estimate).clamp(MIN_ERROR_ESTIMATE, 1.0);
+        self.error_estimate = (alpha * sample_error + (1.0 - alpha) * self.error_estimate)
+            .clamp(MIN_ERROR_ESTIMATE, 1.0);
 
         // Lines 5–6: move along the spring force, unless the sample was
         // within the error margin (no movement necessary — the coordinate
@@ -358,7 +393,7 @@ mod tests {
         // Three nodes with consistent latencies 60/80/100 (a valid triangle)
         // should embed with low error.
         let config = VivaldiConfig::paper_defaults().with_dimensions(2);
-        let mut nodes = vec![
+        let mut nodes = [
             VivaldiState::new(config.clone().with_seed(1)),
             VivaldiState::new(config.clone().with_seed(2)),
             VivaldiState::new(config.with_seed(3)),
@@ -422,9 +457,10 @@ mod tests {
         // The Figure 6 effect: on a ~1 ms link, a 3 ms sample produces a huge
         // relative error and damages confidence unless the margin is allowed.
         let config = VivaldiConfig::paper_defaults();
-        let mut with_margin =
-            VivaldiState::with_coordinate(config.clone().with_confidence_building(Some(3.0)),
-                Coordinate::new(vec![1.0, 0.0, 0.0]).unwrap());
+        let mut with_margin = VivaldiState::with_coordinate(
+            config.clone().with_confidence_building(Some(3.0)),
+            Coordinate::new(vec![1.0, 0.0, 0.0]).unwrap(),
+        );
         let mut without_margin = VivaldiState::with_coordinate(
             config.clone(),
             Coordinate::new(vec![1.0, 0.0, 0.0]).unwrap(),

@@ -6,6 +6,10 @@
 //! ordinary Vivaldi never becomes confident; allowing a small
 //! measurement-error margin fixes that.
 //!
+//! This example deliberately drives the bare `VivaldiState` layer — the
+//! substrate *below* the sans-I/O `StableNode` engine — to isolate the
+//! confidence-building mechanism from filtering and change detection.
+//!
 //! Run with: `cargo run --release --example cluster_confidence`
 
 use nc_netsim::cluster::ClusterModel;

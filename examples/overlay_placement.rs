@@ -14,6 +14,12 @@
 //! coordinates (ENERGY heuristic) produces almost the same final attachments
 //! with a fraction of the churn.
 //!
+//! The coordinate layer below runs entirely through the sans-I/O engine: the
+//! simulator exchanges `ProbeRequest`/`ProbeResponse` messages between nodes
+//! and folds the engines' `Event` streams into the tracked trajectories this
+//! example replays. In a deployment the overlay would subscribe to
+//! `Event::ApplicationUpdated` instead of polling coordinates.
+//!
 //! Run with: `cargo run --release --example overlay_placement`
 
 use nc_netsim::planetlab::PlanetLabConfig;
@@ -52,7 +58,10 @@ fn main() {
         .with_measurement_start(600.0)
         .with_tracked_nodes(tracked, 30.0);
     let configs = vec![
-        ("application-level (ENERGY)".to_string(), NodeConfig::paper_defaults()),
+        (
+            "application-level (ENERGY)".to_string(),
+            NodeConfig::paper_defaults(),
+        ),
         (
             "system-level (raw coordinates)".to_string(),
             NodeConfig::builder()
@@ -76,7 +85,12 @@ fn main() {
         let mut final_assignment: Vec<usize> = Vec::new();
         for &t in &times {
             let snapshot: Vec<Option<&nc_netsim::metrics::TrackedCoordinate>> = (0..node_count)
-                .map(|node| metrics.tracked.iter().find(|c| c.node == node && c.time_s == t))
+                .map(|node| {
+                    metrics
+                        .tracked
+                        .iter()
+                        .find(|c| c.node == node && c.time_s == t)
+                })
                 .collect();
             if snapshot.iter().any(|s| s.is_none()) {
                 continue;

@@ -6,6 +6,11 @@
 //! PlanetLab workload and the accuracy/stability metrics are printed for the
 //! second half of the run.
 //!
+//! The simulator drives every node through the sans-I/O engine API — each
+//! probe is a `ProbeRequest`/`ProbeResponse` exchange and the metrics are
+//! folded from the engine's `Event` stream, so this doubles as an end-to-end
+//! exercise of the wire protocol at 32-node scale.
+//!
 //! Run with: `cargo run --release --example planetlab_sim`
 
 use nc_netsim::planetlab::PlanetLabConfig;
@@ -16,14 +21,23 @@ fn main() {
     let workload = PlanetLabConfig::small(32).with_seed(20050624);
     let sim_config = SimConfig::new(3_600.0, 5.0).with_measurement_start(1_800.0);
     let configs = vec![
-        ("enhanced (MP filter + ENERGY)".to_string(), NodeConfig::paper_defaults()),
-        ("original Vivaldi (raw, no suppression)".to_string(), NodeConfig::original_vivaldi()),
+        (
+            "enhanced (MP filter + ENERGY)".to_string(),
+            NodeConfig::paper_defaults(),
+        ),
+        (
+            "original Vivaldi (raw, no suppression)".to_string(),
+            NodeConfig::original_vivaldi(),
+        ),
     ];
 
     println!("simulating 32 nodes for one hour (measurement: second half) ...");
     let report = Simulator::new(workload, sim_config, configs).run();
 
-    println!("\n{:44} {:>18} {:>18} {:>14}", "configuration", "median rel. error", "95th pct rel. err", "instability");
+    println!(
+        "\n{:44} {:>18} {:>18} {:>14}",
+        "configuration", "median rel. error", "95th pct rel. err", "instability"
+    );
     println!("{}", "-".repeat(98));
     for (name, metrics) in report.iter() {
         println!(
@@ -36,11 +50,13 @@ fn main() {
     }
 
     let enhanced = report.config("enhanced (MP filter + ENERGY)").unwrap();
-    let original = report.config("original Vivaldi (raw, no suppression)").unwrap();
-    let error_reduction =
-        (1.0 - enhanced.median_of_application_p95_relative_error()
+    let original = report
+        .config("original Vivaldi (raw, no suppression)")
+        .unwrap();
+    let error_reduction = (1.0
+        - enhanced.median_of_application_p95_relative_error()
             / original.median_of_application_p95_relative_error())
-            * 100.0;
+        * 100.0;
     let stability_reduction = (1.0
         - enhanced.aggregate_application_instability()
             / original.aggregate_application_instability())

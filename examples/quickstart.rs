@@ -1,11 +1,18 @@
-//! Quickstart: embed a small mesh of nodes with `StableNode` and compare the
-//! estimated round-trip times against the ground truth.
+//! Quickstart: embed a small mesh of nodes with the sans-I/O `StableNode`
+//! engine, compare the estimated round-trip times against the ground truth,
+//! and demonstrate snapshot/restore mid-run.
+//!
+//! Every observation travels the way it would in a deployment: the prober
+//! builds a `ProbeRequest`, the probed node answers it with `respond`, the
+//! "network" (here: the trace generator) supplies the measured RTT, and the
+//! prober digests the stamped `ProbeResponse` into a stream of typed
+//! `Event`s.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use nc_netsim::planetlab::PlanetLabConfig;
 use nc_netsim::trace::{TraceConfig, TraceGenerator};
-use stable_nc::{NodeConfig, StableNode};
+use stable_network_coordinates::{Event, NodeConfig, StableNode, WireMessage};
 
 fn main() {
     // A 16-node synthetic wide-area network (heavy-tailed observations and
@@ -18,14 +25,28 @@ fn main() {
         .map(|_| StableNode::new(NodeConfig::paper_defaults()))
         .collect();
 
-    // Feed the ping trace: each node probes its peers round-robin once per
-    // second for half an hour of simulated time.
+    // Feed the ping trace through the wire protocol: each record becomes one
+    // request/response exchange, timed by the trace.
+    let mut app_updates_node0 = 0u64;
+    let mut snapshot_blob: Option<String> = None;
     for record in generator.generate() {
-        let (remote_coord, remote_error) = {
-            let remote = &nodes[record.dst];
-            (remote.system_coordinate().clone(), remote.error_estimate())
-        };
-        nodes[record.src].observe(record.dst, remote_coord, remote_error, record.rtt_ms);
+        let now_ms = (record.time_s * 1_000.0) as u64;
+        let request = nodes[record.src].probe_request_for(record.dst, now_ms);
+        let mut response = nodes[record.dst].respond(&request);
+        response.rtt_ms = record.rtt_ms; // the driver measures the round trip
+        let events = nodes[record.src].handle_response(&response);
+        if record.src == 0 {
+            app_updates_node0 += events
+                .iter()
+                .filter(|e| matches!(e, Event::ApplicationUpdated { .. }))
+                .count() as u64;
+        }
+
+        // Halfway through the run, persist node 0 exactly as a daemon would
+        // before a restart.
+        if snapshot_blob.is_none() && record.time_s >= 900.0 {
+            snapshot_blob = Some(nodes[0].snapshot().encode());
+        }
     }
 
     println!("pair        true RTT    estimated    relative error");
@@ -42,10 +63,28 @@ fn main() {
             println!("{a:2} <-> {b:2}   {truth:8.1} ms  {estimate:8.1} ms   {err:8.2}");
         }
     }
-    println!("\nmean relative error over {pairs} sampled pairs: {:.3}", total_err / pairs as f64);
+    println!(
+        "\nmean relative error over {pairs} sampled pairs: {:.3}",
+        total_err / pairs as f64
+    );
     println!(
         "node 0 published {} application-level updates for {} observations",
-        nodes[0].application_update_count(),
+        app_updates_node0,
         nodes[0].observations()
+    );
+
+    // Restore the mid-run snapshot into a fresh engine: the revived node
+    // carries the exact coordinate, filter windows and probe schedule the
+    // original had at persist time.
+    let blob = snapshot_blob.expect("run is longer than the snapshot point");
+    let snapshot = stable_network_coordinates::NodeSnapshot::<usize>::decode(&blob)
+        .expect("snapshot decodes under the same protocol version");
+    let restored = StableNode::restore(NodeConfig::paper_defaults(), &snapshot)
+        .expect("same configuration restores");
+    println!(
+        "\nsnapshot taken at t=900s: {} bytes of JSON, {} neighbours, revived at {}",
+        blob.len(),
+        snapshot.neighbor_count(),
+        restored.system_coordinate()
     );
 }

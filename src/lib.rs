@@ -5,11 +5,14 @@
 //!
 //! * [`stable_nc`] — the paper's contribution: the [`StableNode`] coordinate
 //!   stack (moving-percentile filtering → Vivaldi → application-level update
-//!   heuristics) and its configuration types.
+//!   heuristics) exposed as a sans-I/O engine, plus its configuration types.
+//! * [`nc_proto`] — the protocol boundary: versioned [`ProbeRequest`] /
+//!   [`ProbeResponse`] wire messages, the typed [`Event`] stream, and
+//!   [`NodeSnapshot`] for persist/restore.
 //! * [`nc_vivaldi`], [`nc_filters`], [`nc_change`], [`nc_stats`] — the
 //!   individual building blocks, usable on their own.
 //! * [`nc_netsim`] — the synthetic PlanetLab-style workload and simulator
-//!   used by the evaluation.
+//!   used by the evaluation (itself a driver of the sans-I/O engine).
 //! * [`nc_experiments`] — the harness that regenerates every table and
 //!   figure of the paper.
 //!
@@ -18,13 +21,22 @@
 //!
 //! # Quickstart
 //!
+//! A node is driven through wire messages and observed through events; no
+//! sockets or clocks are baked in:
+//!
 //! ```
 //! use stable_network_coordinates::{NodeConfig, StableNode};
 //!
-//! let mut node: StableNode<&str> = StableNode::new(NodeConfig::paper_defaults());
-//! let remote = stable_network_coordinates::Coordinate::new(vec![20.0, 30.0, 0.0]).unwrap();
-//! node.observe("peer-a", remote.clone(), 0.5, 42.0);
-//! println!("estimated RTT: {:.1} ms", node.estimate_rtt_ms(&remote));
+//! let mut a: StableNode<&str> = StableNode::new(NodeConfig::paper_defaults());
+//! let mut b: StableNode<&str> = StableNode::new(NodeConfig::paper_defaults());
+//!
+//! // One full probe exchange: a → b and back, timed by the driver.
+//! let request = a.probe_request_for("peer-b", 0);
+//! let mut response = b.respond(&request);
+//! response.rtt_ms = 42.0; // measured by the transport
+//! let events = a.handle_response(&response);
+//! assert!(!events.is_empty());
+//! println!("estimated RTT: {:.1} ms", a.estimate_rtt_ms(b.system_coordinate()));
 //! ```
 
 #![deny(missing_docs)]
@@ -34,13 +46,15 @@ pub use nc_change;
 pub use nc_experiments;
 pub use nc_filters;
 pub use nc_netsim;
+pub use nc_proto;
 pub use nc_stats;
 pub use nc_vivaldi;
 pub use stable_nc;
 
 pub use stable_nc::{
-    ApplicationUpdate, Coordinate, FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder,
-    ObservationOutcome, StableNode, VivaldiConfig,
+    ApplicationUpdate, Coordinate, Event, FilterConfig, GossipEntry, HeuristicConfig, NodeConfig,
+    NodeConfigBuilder, NodeSnapshot, ObservationOutcome, ProbeRequest, ProbeResponse, StableNode,
+    VivaldiConfig, WireError, WireMessage, PROTOCOL_VERSION,
 };
 
 #[cfg(test)]
@@ -55,5 +69,13 @@ mod tests {
             .build();
         let node: StableNode<u8> = StableNode::new(config);
         assert_eq!(node.system_coordinate().dimensions(), 3);
+    }
+
+    #[test]
+    fn facade_exposes_the_wire_layer() {
+        let request: ProbeRequest<u8> = ProbeRequest::new(1, 0, 0);
+        assert_eq!(request.version, PROTOCOL_VERSION);
+        let decoded = ProbeRequest::<u8>::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
     }
 }

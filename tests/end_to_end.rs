@@ -1,11 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from synthetic workload
-//! through filters, Vivaldi, change detection and metric collection.
+//! through the wire protocol, filters, Vivaldi, change detection and metric
+//! collection.
 
 use nc_netsim::planetlab::PlanetLabConfig;
 use nc_netsim::sim::{SimConfig, Simulator};
-use nc_netsim::trace::{TraceConfig, TraceGenerator};
+use nc_netsim::trace::{TraceConfig, TraceGenerator, TraceRecord};
 use stable_network_coordinates::{
-    Coordinate, FilterConfig, HeuristicConfig, NodeConfig, StableNode,
+    Coordinate, Event, FilterConfig, HeuristicConfig, NodeConfig, NodeSnapshot, ProbeRequest,
+    ProbeResponse, StableNode, WireError, WireMessage, PROTOCOL_VERSION,
 };
 
 fn quick_workload() -> PlanetLabConfig {
@@ -16,6 +18,15 @@ fn quick_schedule() -> SimConfig {
     SimConfig::new(1_500.0, 5.0)
         .with_measurement_start(900.0)
         .with_initial_neighbors(6)
+}
+
+/// Drives one trace record through the full wire exchange.
+fn exchange(nodes: &mut [StableNode<usize>], record: &TraceRecord) -> Vec<Event<usize>> {
+    let now_ms = (record.time_s * 1_000.0) as u64;
+    let request = nodes[record.src].probe_request_for(record.dst, now_ms);
+    let mut response = nodes[record.dst].respond(&request);
+    response.rtt_ms = record.rtt_ms;
+    nodes[record.src].handle_response(&response)
 }
 
 #[test]
@@ -66,20 +77,17 @@ fn paper_stack_dominates_original_vivaldi_on_identical_streams() {
 }
 
 #[test]
-fn stable_node_consumes_a_generated_trace_directly() {
+fn stable_node_consumes_a_generated_trace_through_the_wire_api() {
     // The library is usable without the simulator: drive StableNodes from a
-    // materialised trace, as a real deployment would from its own probes.
+    // materialised trace via request/response exchanges, as a real
+    // deployment would from its own probes.
     let mut generator = TraceGenerator::new(TraceConfig::new(quick_workload(), 600.0, 1.0));
     let node_count = generator.topology().len();
     let mut nodes: Vec<StableNode<usize>> = (0..node_count)
         .map(|_| StableNode::new(NodeConfig::paper_defaults()))
         .collect();
     for record in generator.generate() {
-        let (coord, err) = {
-            let remote = &nodes[record.dst];
-            (remote.system_coordinate().clone(), remote.error_estimate())
-        };
-        nodes[record.src].observe(record.dst, coord, err, record.rtt_ms);
+        exchange(&mut nodes, &record);
     }
     // Estimates between converged nodes correlate with ground truth: closer
     // pairs get smaller estimates on average.
@@ -124,9 +132,18 @@ fn every_filter_and_heuristic_combination_runs() {
         HeuristicConfig::FollowSystem,
         HeuristicConfig::System { threshold_ms: 16.0 },
         HeuristicConfig::Application { threshold_ms: 16.0 },
-        HeuristicConfig::Relative { threshold: 0.3, window: 8 },
-        HeuristicConfig::Energy { threshold: 8.0, window: 8 },
-        HeuristicConfig::ApplicationCentroid { threshold_ms: 16.0, window: 8 },
+        HeuristicConfig::Relative {
+            threshold: 0.3,
+            window: 8,
+        },
+        HeuristicConfig::Energy {
+            threshold: 8.0,
+            window: 8,
+        },
+        HeuristicConfig::ApplicationCentroid {
+            threshold_ms: 16.0,
+            window: 8,
+        },
     ];
     let remote = Coordinate::new(vec![30.0, 40.0, 0.0]).unwrap();
     for filter in &filters {
@@ -136,13 +153,23 @@ fn every_filter_and_heuristic_combination_runs() {
                 .heuristic(heuristic.clone())
                 .build();
             let mut node: StableNode<u32> = StableNode::new(config);
-            for i in 0..200 {
-                let rtt = if i % 37 == 0 { 4_000.0 } else { 60.0 + (i % 7) as f64 };
-                node.observe(1, remote.clone(), 0.4, rtt);
+            for i in 0..200u64 {
+                let rtt = if i % 37 == 0 {
+                    4_000.0
+                } else {
+                    60.0 + (i % 7) as f64
+                };
+                let request = node.probe_request_for(1, i);
+                let mut response = ProbeResponse::new(1, &request, remote.clone(), 0.4);
+                response.rtt_ms = rtt;
+                node.handle_response(&response);
             }
             assert!(node.observations() == 200, "{filter:?} + {heuristic:?}");
             assert!(
-                node.system_coordinate().components().iter().all(|c| c.is_finite()),
+                node.system_coordinate()
+                    .components()
+                    .iter()
+                    .all(|c| c.is_finite()),
                 "{filter:?} + {heuristic:?} produced a non-finite coordinate"
             );
         }
@@ -155,14 +182,19 @@ fn warmup_protects_against_first_sample_outliers_end_to_end() {
     // extreme outlier. With warm-up enabled the displacement caused by such a
     // link is bounded by later, sane samples.
     let run = |warmup: u64| -> f64 {
-        let mut node: StableNode<u32> = StableNode::new(
-            NodeConfig::builder().warmup_samples(warmup).build(),
-        );
+        let mut node: StableNode<u32> =
+            StableNode::new(NodeConfig::builder().warmup_samples(warmup).build());
         let remote = Coordinate::new(vec![10.0, 10.0, 10.0]).unwrap();
         // First contact with peer 7 is a 30-second outlier, then normal.
-        node.observe(7, remote.clone(), 0.4, 30_000.0);
+        let send = |node: &mut StableNode<u32>, rtt: f64| {
+            let request = node.probe_request_for(7, 0);
+            let mut response = ProbeResponse::new(7, &request, remote.clone(), 0.4);
+            response.rtt_ms = rtt;
+            node.handle_response(&response);
+        };
+        send(&mut node, 30_000.0);
         for _ in 0..20 {
-            node.observe(7, remote.clone(), 0.4, 35.0);
+            send(&mut node, 35.0);
         }
         node.system_displacement_ms()
     };
@@ -172,4 +204,129 @@ fn warmup_protects_against_first_sample_outliers_end_to_end() {
         with < without,
         "warm-up should reduce the displacement caused by a first-sample outlier ({with:.1} vs {without:.1})"
     );
+}
+
+#[test]
+fn wire_messages_round_trip_across_crate_boundaries() {
+    // Serde round trips at the integration level: request, response and
+    // snapshot all survive encode → decode bit-exactly.
+    let request: ProbeRequest<usize> = ProbeRequest::new(3, 17, 123_456);
+    assert_eq!(
+        ProbeRequest::<usize>::decode(&request.encode()).unwrap(),
+        request
+    );
+
+    let mut node: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
+    let response = {
+        let mut response = node.respond(&ProbeRequest::new(0, 17, 9));
+        response.rtt_ms = 55.5;
+        response
+    };
+    assert_eq!(
+        ProbeResponse::<usize>::decode(&response.encode()).unwrap(),
+        response
+    );
+
+    node.handle_response(&response);
+    let snapshot = node.snapshot();
+    assert_eq!(
+        NodeSnapshot::<usize>::decode(&snapshot.encode()).unwrap(),
+        snapshot
+    );
+}
+
+#[test]
+fn wire_version_mismatches_are_rejected_not_misread() {
+    let mut request: ProbeRequest<usize> = ProbeRequest::new(1, 1, 1);
+    request.version = PROTOCOL_VERSION + 1;
+    assert!(matches!(
+        ProbeRequest::<usize>::decode(&request.encode()),
+        Err(WireError::VersionMismatch { found, .. }) if found == PROTOCOL_VERSION + 1
+    ));
+
+    let node: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
+    let mut snapshot = node.snapshot();
+    snapshot.version = PROTOCOL_VERSION + 2;
+    assert!(matches!(
+        NodeSnapshot::<usize>::decode(&snapshot.encode()),
+        Err(WireError::VersionMismatch { found, .. }) if found == PROTOCOL_VERSION + 2
+    ));
+}
+
+#[test]
+fn node_snapshotted_mid_run_replays_to_identical_coordinates() {
+    // The acceptance scenario: run a real workload, persist one node
+    // halfway through, restore it, and replay the remaining trace into both
+    // — coordinates and event streams must match exactly.
+    let mut generator = TraceGenerator::new(TraceConfig::new(quick_workload(), 400.0, 1.0));
+    let node_count = generator.topology().len();
+    let mut nodes: Vec<StableNode<usize>> = (0..node_count)
+        .map(|_| StableNode::new(NodeConfig::paper_defaults()))
+        .collect();
+
+    let records = generator.generate();
+    let half = records.len() / 2;
+    for record in &records[..half] {
+        exchange(&mut nodes, record);
+    }
+
+    // Persist node 0 through the serialized wire form.
+    let blob = nodes[0].snapshot().encode();
+    let snapshot = NodeSnapshot::<usize>::decode(&blob).expect("snapshot decodes");
+    let mut restored =
+        StableNode::restore(NodeConfig::paper_defaults(), &snapshot).expect("same config restores");
+
+    // Replay the second half into the live mesh; mirror every response that
+    // node 0 digests into the restored copy.
+    for record in &records[half..] {
+        if record.src == 0 {
+            let now_ms = (record.time_s * 1_000.0) as u64;
+            let request_live = nodes[0].probe_request_for(record.dst, now_ms);
+            let request_restored = restored.probe_request_for(record.dst, now_ms);
+            assert_eq!(
+                request_live, request_restored,
+                "probe schedules in lockstep"
+            );
+            let mut response = nodes[record.dst].respond(&request_live);
+            response.rtt_ms = record.rtt_ms;
+            let events_live = nodes[0].handle_response(&response);
+            let events_restored = restored.handle_response(&response);
+            assert_eq!(events_live, events_restored);
+        } else {
+            exchange(&mut nodes, record);
+        }
+    }
+
+    assert_eq!(restored.system_coordinate(), nodes[0].system_coordinate());
+    assert_eq!(
+        restored.application_coordinate(),
+        nodes[0].application_coordinate()
+    );
+    assert_eq!(
+        restored.application_update_count(),
+        nodes[0].application_update_count()
+    );
+}
+
+#[test]
+fn batch_handling_matches_the_event_loop() {
+    let remote = Coordinate::new(vec![25.0, 5.0, 0.0]).unwrap();
+    let responses: Vec<ProbeResponse<u32>> = (0..50u64)
+        .map(|i| {
+            let request = ProbeRequest::new(1, i, i);
+            let mut response = ProbeResponse::new(1, &request, remote.clone(), 0.5);
+            response.rtt_ms = 45.0 + (i % 9) as f64;
+            response
+        })
+        .collect();
+
+    let mut one_by_one: StableNode<u32> = StableNode::new(NodeConfig::paper_defaults());
+    let mut batched: StableNode<u32> = StableNode::new(NodeConfig::paper_defaults());
+    let mut sequential_events = Vec::new();
+    for response in &responses {
+        sequential_events.extend(one_by_one.handle_response(response));
+    }
+    let batch_events = batched.handle_many(&responses);
+    assert_eq!(sequential_events, batch_events);
+    assert_eq!(one_by_one.system_coordinate(), batched.system_coordinate());
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Compiles the workspace's benches unchanged and, when run via
+//! `cargo bench`, executes each benchmark body a small number of times and
+//! prints a coarse mean wall-clock time. It performs no statistical
+//! analysis, outlier rejection or HTML reporting — it exists so that the
+//! benchmark targets stay buildable and runnable without network access to
+//! the real crate.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `black_box` can be imported from either location.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls. The stand-in runs one
+/// setup per iteration regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (coarse; default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters: self.sample_size.max(5),
+        };
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing coarse configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores measurement time.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores warm-up time.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure a benchmark hands it.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Runs `routine` over fresh inputs produced by `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<60} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{id:<60} mean {mean:>12.3?} over {} samples",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

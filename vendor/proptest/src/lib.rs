@@ -1,0 +1,245 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset the workspace's property tests use: the [`proptest!`]
+//! macro, `prop_assert!` / `prop_assert_eq!`, range and collection
+//! [`Strategy`](strategy::Strategy)s and `prop_map`. Each property runs a fixed number of
+//! deterministic random cases (no shrinking — a failing case panics with the
+//! generated inputs visible in the assertion message).
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each property is exercised with.
+pub const CASES: u32 = 64;
+
+/// Re-exports that `use proptest::prelude::*;` is expected to provide.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Strategies: descriptions of how to generate random values of a type.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Sizes accepted by [`vec()`]: a fixed length or a range of lengths.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        length: L,
+    }
+
+    /// Builds a strategy for vectors whose elements come from `element` and
+    /// whose length is drawn from `length` (a `usize` or a range).
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, length: L) -> VecStrategy<S, L> {
+        VecStrategy { element, length }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.length.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Creates the deterministic generator a property runs with. Used by the
+/// expansion of [`proptest!`]; not part of the public API surface.
+#[doc(hidden)]
+pub fn new_rng(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a deterministic per-property seed from the test function's name so
+/// every property explores a distinct but reproducible stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each function body runs [`CASES`] times with
+/// inputs drawn from the strategies named in its argument list.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::new_rng($crate::seed_for(stringify!($name)));
+                for __case in 0..$crate::CASES {
+                    let _ = __case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f64..10.0, n in 1usize..5) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_honours_length(
+            values in crate::collection::vec(0.0f64..1.0, 3usize),
+            more in crate::collection::vec(0u32..9, 1..4),
+        ) {
+            prop_assert_eq!(values.len(), 3);
+            prop_assert!((1..4).contains(&more.len()));
+        }
+
+        #[test]
+        fn prop_map_transforms(v in (0.0f64..1.0).prop_map(|x| x + 10.0)) {
+            prop_assert!((10.0..11.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses: structs with named fields, tuple and
+//! unit structs, and enums whose variants are unit, struct-like or tuple
+//! shaped. Items may carry simple type parameters (each parameter is given a
+//! `Serialize`/`Deserialize` bound). `#[serde(...)]` attributes are not
+//! supported and produce a compile error rather than being silently ignored.
+//!
+//! The macro is written directly against `proc_macro::TokenTree` because the
+//! usual helper crates (`syn`, `quote`) are unavailable offline; the
+//! supported grammar is deliberately small and fails loudly outside it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the stand-in `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => generate_serialize(&item),
+                Mode::Deserialize => generate_deserialize(&item),
+            };
+            code.parse().expect("generated impl should be valid Rust")
+        }
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Leading attributes (doc comments arrive as `#[doc = "..."]`).
+    while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if tokens.iter().skip(pos).take(2).any(|t| {
+            matches!(t, TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Bracket
+                    && g.stream().to_string().starts_with("serde"))
+        }) {
+            return Err(
+                "#[serde(...)] attributes are not supported by the offline stand-in".into(),
+            );
+        }
+        pos += 2; // `#` and the bracketed group
+    }
+
+    // Visibility.
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" || i.to_string() == "enum" => {
+            i.to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected an item name, found {other:?}")),
+    };
+    pos += 1;
+
+    // Generic parameters: collect the parameter names, skip bounds.
+    let mut generics = Vec::new();
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        pos += 1;
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match tokens.get(pos) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                    pos += 1;
+                    continue;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    return Err("lifetimes are not supported by the offline serde derive".into());
+                }
+                Some(TokenTree::Ident(i)) if at_param_start && depth == 1 => {
+                    if i.to_string() == "const" {
+                        return Err(
+                            "const generics are not supported by the offline serde derive".into(),
+                        );
+                    }
+                    generics.push(i.to_string());
+                    at_param_start = false;
+                }
+                None => return Err("unterminated generic parameter list".into()),
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+
+    // Optional where-clause: skip everything up to the body.
+    while let Some(token) = tokens.get(pos) {
+        match token {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                let data = if kind == "struct" {
+                    Data::NamedStruct(parse_named_fields(body)?)
+                } else {
+                    Data::Enum(parse_variants(body)?)
+                };
+                return Ok(Item {
+                    name,
+                    generics,
+                    data,
+                });
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+                return Ok(Item {
+                    name,
+                    generics,
+                    data: Data::TupleStruct(count_top_level_fields(g.stream())),
+                });
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' && kind == "struct" => {
+                return Ok(Item {
+                    name,
+                    generics,
+                    data: Data::UnitStruct,
+                });
+            }
+            _ => pos += 1,
+        }
+    }
+    Err(format!("could not find the body of `{name}`"))
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Attributes on the field.
+        while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2;
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            pos += 1;
+            if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                pos += 1;
+            }
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0isize;
+        while let Some(token) = tokens.get(pos) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            pos += 1;
+        }
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0isize;
+    let mut fields = 1usize;
+    let mut saw_content = false;
+    for (i, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                // A trailing comma does not start a new field.
+                if i + 1 < tokens.len() {
+                    fields += 1;
+                }
+            }
+            _ => saw_content = true,
+        }
+    }
+    if saw_content {
+        fields
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2;
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                pos += 1;
+                VariantFields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_top_level_fields(g.stream());
+                pos += 1;
+                VariantFields::Tuple(count)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while let Some(token) = tokens.get(pos) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let params = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{params}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(0) | Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn serialize_variant_arm(item_name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "{item_name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantFields::Named(fields) => {
+            let bindings = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{item_name}::{vname} {{ {bindings} }} => ::serde::Value::Map(vec![\
+                 (::std::string::String::from({vname:?}), ::serde::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+        VariantFields::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let entries: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+            };
+            format!(
+                "{item_name}::{vname}({}) => ::serde::Value::Map(vec![\
+                 (::std::string::String::from({vname:?}), {payload})]),",
+                bindings.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::de_field(value, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(0) | Data::UnitStruct => {
+            format!(
+                "match value {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"expected null for unit struct {name}, found {{}}\", other.kind()))) }}"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{ ::serde::Value::Seq(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})), \
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"expected a {n}-element sequence for {name}, found {{}}\", other.kind()))) }}",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "{} {{ fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.fields {
+            VariantFields::Unit => None,
+            VariantFields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::de_field(payload, {f:?})?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                    inits.join(", "),
+                    vname = v.name
+                ))
+            }
+            VariantFields::Tuple(1) => Some(format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(payload)?)),",
+                vname = v.name
+            )),
+            VariantFields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "{vname:?} => match payload {{ \
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok({name}::{vname}({inits})), \
+                     other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                     \"expected a {n}-element sequence for variant {vname}, found {{}}\", other.kind()))) }},",
+                    inits = inits.join(", "),
+                    vname = v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match value {{ \
+         ::serde::Value::Str(tag) => match tag.as_str() {{ \
+             {units} \
+             other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+             \"unknown variant `{{other}}` of {name}\"))) }}, \
+         ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+             let (tag, payload) = &entries[0]; \
+             match tag.as_str() {{ \
+                 {tagged} \
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))) }} }}, \
+         other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+         \"expected a variant of {name}, found {{}}\", other.kind()))) }}",
+        units = unit_arms.join(" "),
+        tagged = tagged_arms.join(" "),
+    )
+}
