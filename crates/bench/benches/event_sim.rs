@@ -1,0 +1,61 @@
+//! End-to-end cost of the discrete-event simulator core: one simulated hour
+//! of the paper's deployment schedule (5 s probe interval) at 256 nodes —
+//! ~184k full wire exchanges through the event queue — plus a lossy/churn
+//! variant that additionally exercises timeouts, `ProbeLost` accounting and
+//! the snapshot-restore path. `cargo bench --no-run` in CI compiles these
+//! targets, so any breakage of the scenario or event-queue API is caught
+//! even when the benches are not executed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use nc_netsim::linkmodel::LinkModelConfig;
+use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::scenario::Scenario;
+use nc_netsim::sim::{SimConfig, Simulator};
+use stable_nc::NodeConfig;
+
+fn bench_simulated_hour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_sim");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("one_hour_256_nodes", |b| {
+        b.iter(|| {
+            let workload = PlanetLabConfig::small(256).with_seed(20050502);
+            let sim_config = SimConfig::new(3_600.0, 5.0).with_measurement_start(1_800.0);
+            let report = Simulator::new(
+                workload,
+                sim_config,
+                vec![("mp".to_string(), NodeConfig::paper_defaults())],
+            )
+            .run();
+            black_box(report)
+        })
+    });
+
+    group.bench_function("one_hour_256_nodes_lossy_churn", |b| {
+        b.iter(|| {
+            let workload = PlanetLabConfig::small(256)
+                .with_seed(20050502)
+                .with_link_config(LinkModelConfig::default().with_loss_probability(0.02));
+            let sim_config = SimConfig::new(3_600.0, 5.0).with_measurement_start(1_800.0);
+            let crashed: Vec<usize> = (0..64).collect();
+            let report = Simulator::new(
+                workload,
+                sim_config,
+                vec![("mp".to_string(), NodeConfig::paper_defaults())],
+            )
+            .with_scenario(Scenario::crash_restart(crashed, 1_200.0, 1_500.0))
+            .run();
+            black_box(report)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_hour);
+criterion_main!(benches);

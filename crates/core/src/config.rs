@@ -239,6 +239,12 @@ pub struct NodeConfig {
     /// Number of samples a link must deliver before the filter output is used
     /// (§VI warm-up fix). `0` or `1` disables the warm-up.
     pub warmup_samples: u64,
+    /// When set, a peer whose last `n` probes all went unanswered is evicted
+    /// from the neighbour table and the probe schedule (the engine emits
+    /// `Event::NeighborEvicted`). `None` keeps unresponsive peers forever —
+    /// the paper's deployments never pruned membership, so that remains the
+    /// default.
+    pub max_consecutive_losses: Option<u32>,
 }
 
 impl NodeConfig {
@@ -251,6 +257,7 @@ impl NodeConfig {
             filter: FilterConfig::paper_mp(),
             heuristic: HeuristicConfig::paper_energy(),
             warmup_samples: 0,
+            max_consecutive_losses: None,
         }
     }
 
@@ -263,6 +270,7 @@ impl NodeConfig {
             filter: FilterConfig::Raw,
             heuristic: HeuristicConfig::FollowSystem,
             warmup_samples: 0,
+            max_consecutive_losses: None,
         }
     }
 
@@ -321,6 +329,13 @@ impl NodeConfigBuilder {
     /// Sets the per-link warm-up sample count.
     pub fn warmup_samples(mut self, samples: u64) -> Self {
         self.config.warmup_samples = samples;
+        self
+    }
+
+    /// Enables eviction of peers whose last `losses` probes all expired
+    /// unanswered.
+    pub fn max_consecutive_losses(mut self, losses: u32) -> Self {
+        self.config.max_consecutive_losses = Some(losses.max(1));
         self
     }
 

@@ -9,7 +9,8 @@ use std::hash::Hash;
 use nc_change::{ApplicationCoordinate, ApplicationUpdate, HeuristicStateMismatch, UpdateContext};
 use nc_filters::{LatencyFilter, StateMismatch};
 use nc_proto::{
-    Event, GossipEntry, LinkSnapshot, NodeSnapshot, ProbeRequest, ProbeResponse, PROTOCOL_VERSION,
+    Event, GossipEntry, LinkSnapshot, NodeSnapshot, PendingProbe, ProbeRequest, ProbeResponse,
+    PROTOCOL_VERSION,
 };
 use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiState};
 
@@ -137,6 +138,11 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     probe_cursor: usize,
     probe_seq: u64,
     gossip_cursor: usize,
+    /// Probes sent but not yet answered or expired, oldest first.
+    pending: Vec<PendingProbe<Id>>,
+    /// Consecutive unanswered probes per peer; drives eviction when
+    /// [`NodeConfig::max_consecutive_losses`] is set.
+    loss_streaks: HashMap<Id, u32>,
 }
 
 impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id> {
@@ -184,6 +190,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             probe_cursor: 0,
             probe_seq: 0,
             gossip_cursor: 0,
+            pending: Vec::new(),
+            loss_streaks: HashMap::new(),
         }
     }
 
@@ -281,16 +289,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// from their gossip payloads. Any self-entries learned before the
     /// identity was known are dropped.
     pub fn set_identity(&mut self, id: Id) {
-        self.membership.retain(|member| *member != id);
-        self.neighbors.remove(&id);
-        self.filters.remove(&id);
-        if self
-            .nearest_neighbor
-            .as_ref()
-            .is_some_and(|(nearest, _)| *nearest == id)
-        {
-            self.recompute_nearest_neighbor();
-        }
+        // Purging the self-entry is exactly an eviction of that peer.
+        self.evict(&id);
         self.identity = Some(id);
     }
 
@@ -339,10 +339,99 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         self.register_member(target.clone());
         let seq = self.probe_seq;
         self.probe_seq = self.probe_seq.wrapping_add(1);
+        self.pending.push(PendingProbe {
+            target: target.clone(),
+            seq,
+            sent_at_ms: now_ms,
+        });
         let request = ProbeRequest::new(target, seq, now_ms);
         match &self.identity {
             Some(me) => request.from_source(me.clone()),
             None => request,
+        }
+    }
+
+    /// Probes sent but not yet answered or expired, oldest first. The driver
+    /// is responsible for expiring entries — either per probe with
+    /// [`handle_timeout`](StableNode::handle_timeout) (when it tracks its own
+    /// timers, as the discrete-event simulator does) or in bulk with
+    /// [`expire_pending`](StableNode::expire_pending).
+    pub fn pending_probes(&self) -> &[PendingProbe<Id>] {
+        &self.pending
+    }
+
+    /// Consecutive unanswered probes of `id` (zero when the last probe was
+    /// answered or the peer has never been probed).
+    pub fn loss_streak(&self, id: &Id) -> u32 {
+        self.loss_streaks.get(id).copied().unwrap_or(0)
+    }
+
+    /// Declares the probe with sequence number `seq` lost: its reply never
+    /// arrived within the driver's timeout. The pending entry is released
+    /// and [`Event::ProbeLost`] emitted; the round-robin schedule is
+    /// unaffected, so the next [`next_probe`](StableNode::next_probe) simply
+    /// moves on — a lost probe never stalls the engine.
+    ///
+    /// When [`NodeConfig::max_consecutive_losses`] is configured and the
+    /// target's streak reaches it, the peer is evicted from the neighbour
+    /// table and the probe schedule and [`Event::NeighborEvicted`] follows.
+    ///
+    /// Returns an empty vector when no pending probe carries `seq` (its
+    /// response already arrived, or it was already expired) — drivers may
+    /// fire timers unconditionally and let the engine sort it out.
+    pub fn handle_timeout(&mut self, seq: u64) -> Vec<Event<Id>> {
+        let Some(position) = self.pending.iter().position(|probe| probe.seq == seq) else {
+            return Vec::new();
+        };
+        let probe = self.pending.remove(position);
+        let mut events = vec![Event::ProbeLost {
+            id: probe.target.clone(),
+            seq,
+        }];
+        let streak = self.loss_streaks.entry(probe.target.clone()).or_insert(0);
+        *streak = streak.saturating_add(1);
+        let streak = *streak;
+        if let Some(max) = self.config.max_consecutive_losses {
+            if streak >= max {
+                self.evict(&probe.target);
+                events.push(Event::NeighborEvicted { id: probe.target });
+            }
+        }
+        events
+    }
+
+    /// Expires every pending probe sent at or before `now_ms - timeout_ms`,
+    /// oldest first, emitting the same events as
+    /// [`handle_timeout`](StableNode::handle_timeout) for each. Drivers
+    /// without per-probe timers call this once per tick.
+    pub fn expire_pending(&mut self, now_ms: u64, timeout_ms: u64) -> Vec<Event<Id>> {
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|probe| probe.sent_at_ms.saturating_add(timeout_ms) <= now_ms)
+            .map(|probe| probe.seq)
+            .collect();
+        let mut events = Vec::new();
+        for seq in expired {
+            events.extend(self.handle_timeout(seq));
+        }
+        events
+    }
+
+    /// Removes a peer from every table: membership, neighbours, filters,
+    /// pending probes and loss streaks.
+    fn evict(&mut self, id: &Id) {
+        self.membership.retain(|member| member != id);
+        self.neighbors.remove(id);
+        self.filters.remove(id);
+        self.pending.retain(|probe| probe.target != *id);
+        self.loss_streaks.remove(id);
+        if self
+            .nearest_neighbor
+            .as_ref()
+            .is_some_and(|(nearest, _)| nearest == id)
+        {
+            self.recompute_nearest_neighbor();
         }
     }
 
@@ -404,6 +493,16 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         if self.identity.as_ref() == Some(&response.responder) {
             return events;
         }
+        // The reply settles the matching outstanding probe (if the driver is
+        // using the pending-probe machinery) and proves the peer alive.
+        if let Some(position) = self
+            .pending
+            .iter()
+            .position(|probe| probe.seq == response.seq && probe.target == response.responder)
+        {
+            self.pending.remove(position);
+        }
+        self.loss_streaks.remove(&response.responder);
         if self.register_member(response.responder.clone()) {
             events.push(Event::NeighborDiscovered {
                 id: response.responder.clone(),
@@ -512,6 +611,17 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 })
             })
             .collect();
+        // Streaks in membership order so identical nodes serialize
+        // identically (the runtime table is an unordered map).
+        let loss_streaks = self
+            .membership
+            .iter()
+            .filter_map(|id| {
+                self.loss_streaks
+                    .get(id)
+                    .map(|streak| (id.clone(), *streak))
+            })
+            .collect();
         NodeSnapshot {
             version: PROTOCOL_VERSION,
             vivaldi: self.vivaldi.clone(),
@@ -524,6 +634,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             probe_cursor: self.probe_cursor,
             probe_seq: self.probe_seq,
             gossip_cursor: self.gossip_cursor,
+            pending: self.pending.clone(),
+            loss_streaks,
         }
     }
 
@@ -596,6 +708,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         node.probe_cursor = snapshot.probe_cursor;
         node.probe_seq = snapshot.probe_seq;
         node.gossip_cursor = snapshot.gossip_cursor;
+        node.pending = snapshot.pending.clone();
+        node.loss_streaks = snapshot.loss_streaks.iter().cloned().collect();
         Ok(node)
     }
 
@@ -1297,6 +1411,107 @@ mod tests {
         assert!(node.neighbors().next().is_none());
         assert_eq!(node.nearest_neighbor(), None);
         assert_eq!(node.observations(), 0);
+    }
+
+    #[test]
+    fn probe_timeout_emits_probe_lost_and_never_stalls_the_schedule() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        node.seed_neighbor(1);
+        node.seed_neighbor(2);
+        let request = node.next_probe(0).unwrap();
+        assert_eq!(node.pending_probes().len(), 1);
+        let events = node.handle_timeout(request.seq);
+        assert_eq!(
+            events,
+            vec![Event::ProbeLost {
+                id: request.target,
+                seq: request.seq
+            }]
+        );
+        assert!(node.pending_probes().is_empty());
+        // The schedule moved on to the next peer; nothing is stuck waiting.
+        assert_eq!(node.next_probe(1).unwrap().target, 2);
+        // A second timeout for the same seq is a no-op (reply raced the timer).
+        assert!(node.handle_timeout(request.seq).is_empty());
+    }
+
+    #[test]
+    fn expire_pending_expires_only_old_probes() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        node.probe_request_for(1, 1_000);
+        node.probe_request_for(2, 5_000);
+        let events = node.expire_pending(9_000, 5_000);
+        assert_eq!(
+            events.len(),
+            1,
+            "only the 1 s probe is 5 s stale: {events:?}"
+        );
+        assert!(matches!(events[0], Event::ProbeLost { id: 1, .. }));
+        assert_eq!(node.pending_probes().len(), 1);
+        assert_eq!(node.pending_probes()[0].target, 2);
+    }
+
+    #[test]
+    fn response_settles_pending_and_resets_loss_streak() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        // One probe lost, then one answered: the streak must reset.
+        let lost = node.probe_request_for(1, 0);
+        node.handle_timeout(lost.seq);
+        assert_eq!(node.loss_streak(&1), 1);
+        let request = node.probe_request_for(1, 1);
+        let mut response = ProbeResponse::new(1, &request, remote, 0.5);
+        response.rtt_ms = 40.0;
+        node.handle_response(&response);
+        assert_eq!(node.loss_streak(&1), 0);
+        assert!(node.pending_probes().is_empty());
+    }
+
+    #[test]
+    fn consecutive_losses_evict_the_peer_when_configured() {
+        let config = NodeConfig::builder().max_consecutive_losses(3).build();
+        let mut node = Node::new(config);
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        node.observe(7, remote, 0.5, 25.0);
+        node.seed_neighbor(8);
+        assert!(node.nearest_neighbor().is_some());
+        for round in 0..3u64 {
+            let request = node.probe_request_for(7, round);
+            let events = node.handle_timeout(request.seq);
+            if round < 2 {
+                assert_eq!(events.len(), 1, "no eviction yet: {events:?}");
+            } else {
+                assert!(
+                    events.contains(&Event::NeighborEvicted { id: 7 }),
+                    "third straight loss evicts: {events:?}"
+                );
+            }
+        }
+        assert!(!node.membership().contains(&7));
+        assert!(!node.neighbors().any(|(id, _)| *id == 7));
+        assert_eq!(node.nearest_neighbor(), None);
+        assert_eq!(node.loss_streak(&7), 0);
+        // The rest of the schedule is untouched.
+        assert_eq!(node.next_probe(0).unwrap().target, 8);
+    }
+
+    #[test]
+    fn snapshot_carries_pending_probes_and_streaks() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let lost = node.probe_request_for(1, 0);
+        node.handle_timeout(lost.seq);
+        let in_flight = node.probe_request_for(2, 10);
+        let encoded = node.snapshot().encode();
+        let snapshot = NodeSnapshot::<u32>::decode(&encoded).unwrap();
+        let mut restored = Node::restore(NodeConfig::paper_defaults(), &snapshot).unwrap();
+        assert_eq!(restored.pending_probes(), node.pending_probes());
+        assert_eq!(restored.loss_streak(&1), 1);
+        // The restored node settles the in-flight probe exactly like the
+        // original would.
+        let events_o = node.handle_timeout(in_flight.seq);
+        let events_r = restored.handle_timeout(in_flight.seq);
+        assert_eq!(events_o, events_r);
+        assert!(restored.pending_probes().is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use nc_experiments::{
     fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
     table1, Scale,
 };
+use nc_netsim::sim::SimConfig;
 
 fn banner(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -17,6 +18,25 @@ fn banner(title: &str) {
 
 fn main() {
     let scale = nc_experiments::scale_from_args();
+    // Fail fast with a readable diagnostic (instead of a mid-run panic) if
+    // the scale's simulation schedule is not runnable. Built as a literal —
+    // the panicking constructors never run — so validate() is the single
+    // checkpoint.
+    let schedule = SimConfig {
+        duration_s: scale.duration_s(),
+        probe_interval_s: scale.probe_interval_s(),
+        measurement_start_s: scale.measurement_start_s(),
+        initial_neighbors: 8,
+        gossip: true,
+        track_nodes: Vec::new(),
+        track_interval_s: 60.0,
+        protocol_seed: 0xF00D,
+        probe_timeout_s: scale.probe_interval_s() * 3.0,
+    };
+    if let Err(error) = schedule.validate() {
+        eprintln!("invalid simulation schedule for scale '{scale}': {error}");
+        std::process::exit(2);
+    }
     eprintln!("running the full evaluation at scale '{scale}' ...");
     let quick = scale == Scale::Quick;
 

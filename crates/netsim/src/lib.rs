@@ -18,15 +18,23 @@
 //! * [`planetlab`] — the full synthetic PlanetLab workload (269 nodes by
 //!   default, scalable down for quick runs).
 //! * [`cluster`] — the low-latency three-node cluster of §IV-B (Figure 6).
-//! * [`sim`] — a discrete-time simulator that runs one or more coordinate
-//!   stacks ([`stable_nc::StableNode`]) side by side on identical observation
-//!   streams, with gossip-based neighbour discovery and round-robin
-//!   sampling, mirroring the paper's methodology of running the filtered and
-//!   unfiltered systems "on the same set of PlanetLab nodes at the same
-//!   time".
+//! * [`sim`] — a **discrete-event simulator** that runs one or more
+//!   coordinate stacks ([`stable_nc::StableNode`]) side by side on identical
+//!   observation streams. Time advances through an event queue
+//!   ([`sim::EventQueue`]), so probes are genuinely *in flight*: a probe
+//!   takes half the link RTT to arrive (asymmetrically split when the link
+//!   model says so), the reply takes the other half back, and a probe or
+//!   reply dropped by the link's loss process — or by an active partition —
+//!   surfaces as a timeout and a typed `ProbeLost` event rather than a
+//!   stalled schedule.
+//! * [`scenario`] — scripted churn replayed by the simulator: joins and
+//!   flash crowds, graceful leaves, crashes with snapshot-based restarts
+//!   (the `nc-proto` persist/restore path, end to end) and node-group or
+//!   regional partitions.
 //! * [`metrics`] — collection of the paper's metrics: per-node relative
-//!   error distributions, per-node and aggregate instability, and
-//!   application-update rates, with warm-up exclusion and time binning.
+//!   error distributions, per-node and aggregate instability,
+//!   application-update rates and probe-loss counts, with warm-up exclusion
+//!   and windowed medians for before/after-churn comparisons.
 //!
 //! # Example: a small two-configuration comparison
 //!
@@ -46,6 +54,34 @@
 //! let raw = report.config("raw").unwrap();
 //! assert!(mp.aggregate_instability() <= raw.aggregate_instability());
 //! ```
+//!
+//! # Example: lossy links and a crash-restart churn scenario
+//!
+//! A quarter of the mesh crashes mid-run and restarts from the snapshots
+//! taken at the instant of the crash; 2 % of packets are dropped
+//! throughout. Lost probes are reported per node in the
+//! [`SimReport`](metrics::SimReport):
+//!
+//! ```
+//! use nc_netsim::linkmodel::LinkModelConfig;
+//! use nc_netsim::planetlab::PlanetLabConfig;
+//! use nc_netsim::scenario::Scenario;
+//! use nc_netsim::sim::{SimConfig, Simulator};
+//! use stable_nc::NodeConfig;
+//!
+//! let workload = PlanetLabConfig::small(8)
+//!     .with_seed(3)
+//!     .with_link_config(LinkModelConfig::default().with_loss_probability(0.02));
+//! let sim_config = SimConfig::new(600.0, 5.0).with_measurement_start(0.0);
+//! let scenario = Scenario::crash_restart(vec![0, 1], 300.0, 360.0);
+//! let report = Simulator::new(workload, sim_config, vec![
+//!     ("mp".to_string(), NodeConfig::paper_defaults()),
+//! ])
+//! .with_scenario(scenario)
+//! .run();
+//! let metrics = report.config("mp").unwrap();
+//! assert!(metrics.total_probes_lost() > 0);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -55,6 +91,7 @@ pub mod linkmodel;
 pub mod metrics;
 pub mod planetlab;
 pub mod rand_ext;
+pub mod scenario;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -63,6 +100,7 @@ pub use cluster::ClusterModel;
 pub use linkmodel::{LinkModel, LinkModelConfig};
 pub use metrics::{ConfigMetrics, NodeMetrics, SimReport};
 pub use planetlab::PlanetLabConfig;
-pub use sim::{SimConfig, Simulator};
-pub use topology::{Region, Topology};
+pub use scenario::{Scenario, ScenarioAction, ScenarioEvent};
+pub use sim::{ConfigError, EventQueue, SimConfig, Simulator};
+pub use topology::{Region, RttMatrix, Topology};
 pub use trace::{TraceConfig, TraceGenerator, TraceRecord};

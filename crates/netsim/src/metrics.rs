@@ -30,6 +30,11 @@ pub struct NodeMetrics {
     pub application_displacements: Vec<(f64, f64)>,
     /// Number of raw observations seen during the measurement window.
     pub observations: u64,
+    /// Number of probes this node sent that expired without a reply
+    /// (link loss, partitions, or a dead target). Counted over the whole
+    /// run — a fully dead link produces no accepted observations to gate a
+    /// measurement window on.
+    pub probes_lost: u64,
 }
 
 impl NodeMetrics {
@@ -95,6 +100,19 @@ impl NodeMetrics {
     /// Number of application-level updates during the window.
     pub fn application_update_count(&self) -> usize {
         self.application_displacements.len()
+    }
+
+    /// Median of the system-level relative errors sampled in `[from_s,
+    /// to_s)` — the windowed accuracy used to compare a mesh before and
+    /// after a churn event.
+    pub fn median_relative_error_between(&self, from_s: f64, to_s: f64) -> Result<f64, StatsError> {
+        let errors: Vec<f64> = self
+            .system_errors
+            .iter()
+            .filter(|(t, _)| *t >= from_s && *t < to_s)
+            .map(|(_, e)| *e)
+            .collect();
+        percentile(&errors, 50.0)
     }
 }
 
@@ -264,6 +282,30 @@ impl ConfigMetrics {
         Ecdf::new(self.per_node_application_instability())
     }
 
+    /// Total probes lost across all nodes over the whole run (timeouts from
+    /// link loss, partitions and crashed targets).
+    pub fn total_probes_lost(&self) -> u64 {
+        self.nodes.iter().map(|n| n.probes_lost).sum()
+    }
+
+    /// Median of every system-level relative error sampled in `[from_s,
+    /// to_s)`, pooled across nodes. This is the number the churn acceptance
+    /// criterion compares pre-crash against end-of-run.
+    pub fn pooled_median_relative_error_between(
+        &self,
+        from_s: f64,
+        to_s: f64,
+    ) -> Result<f64, StatsError> {
+        let errors: Vec<f64> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.system_errors.iter())
+            .filter(|(t, _)| *t >= from_s && *t < to_s)
+            .map(|(_, e)| *e)
+            .collect();
+        percentile(&errors, 50.0)
+    }
+
     /// Summary of every system-level relative error sample pooled across
     /// nodes (handy for quick sanity checks).
     pub fn pooled_error_summary(&self) -> StreamingSummary {
@@ -342,6 +384,7 @@ mod tests {
                 .collect(),
             application_displacements: vec![(0.0, 1.0)],
             observations: errors.len() as u64,
+            probes_lost: 0,
         }
     }
 
@@ -398,5 +441,28 @@ mod tests {
         cm.nodes[0] = node_with(&[0.1, 0.2], &[1.0]);
         cm.nodes[1] = node_with(&[0.3], &[1.0]);
         assert_eq!(cm.pooled_error_summary().count(), 3);
+    }
+
+    #[test]
+    fn probe_losses_aggregate_across_nodes() {
+        let mut cm = ConfigMetrics::new(3, 10.0);
+        cm.nodes[0].probes_lost = 2;
+        cm.nodes[2].probes_lost = 5;
+        assert_eq!(cm.total_probes_lost(), 7);
+    }
+
+    #[test]
+    fn windowed_medians_filter_by_time() {
+        // node_with stamps sample i at time i seconds.
+        let n = node_with(&[0.1, 0.2, 0.3, 0.4, 0.5], &[1.0]);
+        assert_eq!(n.median_relative_error_between(0.0, 2.5).unwrap(), 0.2);
+        assert_eq!(n.median_relative_error_between(3.0, 100.0).unwrap(), 0.45);
+        assert!(n.median_relative_error_between(50.0, 60.0).is_err());
+
+        let mut cm = ConfigMetrics::new(2, 10.0);
+        cm.nodes[0] = node_with(&[0.1, 0.2], &[1.0]);
+        cm.nodes[1] = node_with(&[0.3, 0.4], &[1.0]);
+        let pooled = cm.pooled_median_relative_error_between(0.0, 10.0).unwrap();
+        assert!((pooled - 0.25).abs() < 1e-9);
     }
 }

@@ -1,4 +1,4 @@
-//! The discrete-time coordinate-system simulator.
+//! The discrete-event coordinate-system simulator.
 //!
 //! The paper evaluates its enhancements in two ways that this simulator
 //! unifies: a trace-driven simulator ("we built a simulator that accepted our
@@ -11,10 +11,31 @@
 //! difference in the resulting metrics is attributable to the coordinate
 //! stack alone.
 //!
+//! # The event model
+//!
+//! Time advances through a [`EventQueue`] of scheduled [`SimEvent`]s rather
+//! than fixed steps, so probes are genuinely *in flight*: a probe sent at
+//! `t` reaches its target half an RTT later (split asymmetrically when the
+//! link model says so), the reply takes the other half back, and only then
+//! does the prober's engine digest the observation. A probe or reply may be
+//! dropped by the link's loss process or by an active network partition, in
+//! which case the prober's timeout fires instead and the engine reports
+//! [`Event::ProbeLost`] — the round-robin schedule keeps advancing either
+//! way; nothing ever stalls on an unanswered probe.
+//!
 //! Probing follows the paper's protocol: every node samples its neighbour
 //! set in round-robin order at a fixed interval, neighbour sets start small
-//! and grow through gossip (each probe reply carries the address of one other
-//! node the target knows about).
+//! and grow through gossip (each probe reply carries the address of one
+//! other node the target knows about); a mid-run joiner announces itself to
+//! its seed peers, as a deployment bootstrapping from a membership file
+//! would.
+//!
+//! On top of the queue sits the [`Scenario`](crate::scenario) layer: nodes
+//! can join mid-run (alone or as a flash crowd), leave gracefully, crash
+//! and later restart from the [`NodeSnapshot`] taken at the instant of the
+//! crash, and whole node groups or geographic regions can be partitioned
+//! from the rest of the mesh until a heal time. Scenario actions apply
+//! identically to every named configuration.
 //!
 //! The simulator is a *driver* of the sans-I/O engine: every probe runs the
 //! full wire exchange — [`StableNode::probe_request_for`] →
@@ -22,20 +43,85 @@
 //! [`ProbeResponse`](nc_proto::ProbeResponse) →
 //! [`StableNode::handle_response`] — and the metrics are folded from the
 //! returned [`Event`] stream, exactly as a deployed daemon would consume
-//! them.
+//! them. Timeouts run through [`StableNode::handle_timeout`], the same API a
+//! daemon's timer wheel would call.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
-use nc_proto::Event;
+use nc_proto::{Event, NodeSnapshot, ProbeRequest, ProbeResponse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use stable_nc::{NodeConfig, StableNode};
 
 use crate::linkmodel::LinkModel;
-use crate::metrics::{ConfigMetrics, SimReport, TrackedCoordinate};
+use crate::metrics::{ConfigMetrics, NodeMetrics, SimReport, TrackedCoordinate};
 use crate::planetlab::PlanetLabConfig;
-use crate::topology::Topology;
+use crate::scenario::{Scenario, ScenarioAction};
+use crate::topology::{RttMatrix, Topology};
+
+/// An invalid [`SimConfig`], reported by [`SimConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The total duration is not positive and finite.
+    NonPositiveDuration(f64),
+    /// The probe interval is not positive and finite.
+    NonPositiveProbeInterval(f64),
+    /// The probe interval exceeds the run duration (no node would probe).
+    ProbeIntervalExceedsDuration {
+        /// The configured interval.
+        interval_s: f64,
+        /// The configured duration.
+        duration_s: f64,
+    },
+    /// The measurement window starts outside `[0, duration)`.
+    MeasurementStartOutOfRange {
+        /// The configured start.
+        start_s: f64,
+        /// The configured duration.
+        duration_s: f64,
+    },
+    /// The trajectory-tracking interval is not positive and finite.
+    NonPositiveTrackInterval(f64),
+    /// The probe timeout is not positive and finite.
+    NonPositiveProbeTimeout(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveDuration(d) => {
+                write!(f, "duration must be positive and finite, got {d}")
+            }
+            ConfigError::NonPositiveProbeInterval(i) => {
+                write!(f, "probe interval must be positive and finite, got {i}")
+            }
+            ConfigError::ProbeIntervalExceedsDuration {
+                interval_s,
+                duration_s,
+            } => write!(
+                f,
+                "probe interval {interval_s} s exceeds the run duration {duration_s} s"
+            ),
+            ConfigError::MeasurementStartOutOfRange {
+                start_s,
+                duration_s,
+            } => write!(
+                f,
+                "measurement start {start_s} s lies outside the run [0, {duration_s}) s"
+            ),
+            ConfigError::NonPositiveTrackInterval(i) => {
+                write!(f, "track interval must be positive and finite, got {i}")
+            }
+            ConfigError::NonPositiveProbeTimeout(t) => {
+                write!(f, "probe timeout must be positive and finite, got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Measurement schedule and protocol parameters of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,21 +145,24 @@ pub struct SimConfig {
     /// Seed for protocol-level randomness (gossip choices, initial neighbour
     /// sets). Independent of the workload seed.
     pub protocol_seed: u64,
+    /// How long a prober waits for a reply before declaring the probe lost
+    /// (seconds). Defaults to three probe intervals — far above any
+    /// in-flight delay, so timeouts fire only for genuinely dropped packets
+    /// and dead peers.
+    pub probe_timeout_s: f64,
 }
 
 impl SimConfig {
     /// Creates a schedule with the given duration and probe interval; the
     /// measurement window defaults to the second half of the run, neighbour
-    /// sets start with 8 members, and gossip is enabled.
+    /// sets start with 8 members, gossip is enabled, and probes time out
+    /// after three intervals.
     ///
     /// # Panics
     ///
-    /// Panics when duration or interval is not positive and finite, or when
-    /// the interval exceeds the duration.
+    /// Panics when the combination fails [`SimConfig::validate`]. Build the
+    /// struct literally and call `validate()` for a non-panicking path.
     pub fn new(duration_s: f64, probe_interval_s: f64) -> Self {
-        assert!(duration_s.is_finite() && duration_s > 0.0);
-        assert!(probe_interval_s.is_finite() && probe_interval_s > 0.0);
-        assert!(probe_interval_s <= duration_s);
         SimConfig {
             duration_s,
             probe_interval_s,
@@ -83,7 +172,10 @@ impl SimConfig {
             track_nodes: Vec::new(),
             track_interval_s: 60.0,
             protocol_seed: 0xF00D,
+            probe_timeout_s: probe_interval_s * 3.0,
         }
+        .validate()
+        .unwrap_or_else(|error| panic!("invalid simulation schedule: {error}"))
     }
 
     /// The schedule of the paper's PlanetLab deployment: four hours, one
@@ -92,9 +184,47 @@ impl SimConfig {
         Self::new(4.0 * 3600.0, 5.0)
     }
 
+    /// Checks every invariant of the schedule and returns the config
+    /// unchanged when it is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: non-positive duration,
+    /// interval, track interval or timeout; an interval longer than the
+    /// run; or a measurement start outside `[0, duration)`.
+    pub fn validate(self) -> Result<Self, ConfigError> {
+        if !(self.duration_s.is_finite() && self.duration_s > 0.0) {
+            return Err(ConfigError::NonPositiveDuration(self.duration_s));
+        }
+        if !(self.probe_interval_s.is_finite() && self.probe_interval_s > 0.0) {
+            return Err(ConfigError::NonPositiveProbeInterval(self.probe_interval_s));
+        }
+        if self.probe_interval_s > self.duration_s {
+            return Err(ConfigError::ProbeIntervalExceedsDuration {
+                interval_s: self.probe_interval_s,
+                duration_s: self.duration_s,
+            });
+        }
+        if !(self.measurement_start_s.is_finite()
+            && self.measurement_start_s >= 0.0
+            && self.measurement_start_s < self.duration_s)
+        {
+            return Err(ConfigError::MeasurementStartOutOfRange {
+                start_s: self.measurement_start_s,
+                duration_s: self.duration_s,
+            });
+        }
+        if !(self.track_interval_s.is_finite() && self.track_interval_s > 0.0) {
+            return Err(ConfigError::NonPositiveTrackInterval(self.track_interval_s));
+        }
+        if !(self.probe_timeout_s.is_finite() && self.probe_timeout_s > 0.0) {
+            return Err(ConfigError::NonPositiveProbeTimeout(self.probe_timeout_s));
+        }
+        Ok(self)
+    }
+
     /// Sets the measurement start time.
     pub fn with_measurement_start(mut self, start_s: f64) -> Self {
-        assert!(start_s >= 0.0 && start_s < self.duration_s);
         self.measurement_start_s = start_s;
         self
     }
@@ -113,7 +243,6 @@ impl SimConfig {
 
     /// Requests coordinate tracking for the given nodes.
     pub fn with_tracked_nodes(mut self, nodes: Vec<usize>, interval_s: f64) -> Self {
-        assert!(interval_s > 0.0);
         self.track_nodes = nodes;
         self.track_interval_s = interval_s;
         self
@@ -125,31 +254,188 @@ impl SimConfig {
         self
     }
 
+    /// Sets the probe timeout.
+    pub fn with_probe_timeout(mut self, timeout_s: f64) -> Self {
+        self.probe_timeout_s = timeout_s;
+        self
+    }
+
     /// Length of the measurement window.
     pub fn measurement_duration_s(&self) -> f64 {
         self.duration_s - self.measurement_start_s
     }
 }
 
+// ---------------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------------
+
+/// A heap entry; the `Ord` impl is inverted so [`BinaryHeap`] (a max-heap)
+/// pops the *earliest* time first, FIFO among equal times.
+#[derive(Debug)]
+struct QueueEntry<T> {
+    time_s: f64,
+    insertion: u64,
+    item: T,
+}
+
+impl<T> PartialEq for QueueEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s && self.insertion == other.insertion
+    }
+}
+
+impl<T> Eq for QueueEntry<T> {}
+
+impl<T> PartialOrd for QueueEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for QueueEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.insertion.cmp(&self.insertion))
+    }
+}
+
+/// A deterministic discrete-event queue: events pop in nondecreasing time
+/// order, and events scheduled for the same instant pop in insertion order
+/// (FIFO), so a simulation's behaviour is a pure function of its inputs.
+#[derive(Debug, Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<QueueEntry<T>>,
+    insertions: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            insertions: 0,
+        }
+    }
+
+    /// Schedules `item` at `time_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time_s` is not finite (an event at NaN-o'clock would
+    /// never pop in a defined order).
+    pub fn schedule(&mut self, time_s: f64, item: T) {
+        assert!(time_s.is_finite(), "event times must be finite");
+        let insertion = self.insertions;
+        self.insertions += 1;
+        self.heap.push(QueueEntry {
+            time_s,
+            insertion,
+            item,
+        });
+    }
+
+    /// Removes and returns the earliest event as `(time, item)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|entry| (entry.time_s, entry.item))
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|entry| entry.time_s)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+/// What the simulator does when the clock reaches an event. Exchanges carry
+/// per-configuration wire messages so every named configuration digests the
+/// identical observation at the identical instant.
+enum SimEvent {
+    /// A node's probe tick: pick the next round-robin target and launch the
+    /// exchange. Reschedules itself every probe interval while the node is
+    /// up.
+    ProbeSend { src: usize },
+    /// A probe reaches its target, which answers it (the reply may then be
+    /// lost on the way back).
+    ProbeDeliver {
+        src: usize,
+        dst: usize,
+        rtt_ms: f64,
+        reverse_delay_s: f64,
+        reverse_lost: bool,
+        requests: Vec<ProbeRequest<usize>>,
+    },
+    /// A reply reaches the prober, which digests the observation.
+    ResponseDeliver {
+        src: usize,
+        dst: usize,
+        responses: Vec<ProbeResponse<usize>>,
+    },
+    /// The prober's timer for one probe fires; a no-op when the reply
+    /// arrived first.
+    ProbeTimeout { src: usize, seq: u64 },
+    /// Sample the tracked nodes' coordinates (Figure 7 trajectories).
+    TrackSample,
+    /// Apply the next scripted scenario action.
+    ScenarioAction { index: usize },
+}
+
+/// One in-run network partition: packets crossing the boundary between
+/// `members` and everyone else are dropped until `heal_at_s`.
+struct PartitionWindow {
+    heal_at_s: f64,
+    members: Vec<bool>,
+}
+
 /// One coordinate stack (a full set of [`StableNode`]s, one per host) run by
 /// the simulator.
 struct ConfigRun {
     name: String,
+    config: NodeConfig,
     nodes: Vec<StableNode<usize>>,
     metrics: ConfigMetrics,
 }
 
 /// Runs one or more coordinate-stack configurations over a synthetic
-/// workload. See the [crate-level documentation](crate) for an example.
+/// workload, optionally under a churn [`Scenario`]. See the
+/// [crate-level documentation](crate) for an example.
 pub struct Simulator {
     workload: PlanetLabConfig,
     sim_config: SimConfig,
     topology: Topology,
+    /// Row-major ground-truth RTT matrix: the hot-path lookup behind every
+    /// link-model construction.
+    rtt_matrix: RttMatrix,
     links: HashMap<(usize, usize), LinkModel>,
     neighbor_sets: Vec<Vec<usize>>,
     round_robin: Vec<usize>,
     runs: Vec<ConfigRun>,
     protocol_rng: StdRng,
+    scenario: Scenario,
+    /// Liveness per node; down nodes neither probe nor answer.
+    alive: Vec<bool>,
+    /// Whether a future `ProbeSend` for the node is already in the queue
+    /// (guards against double-scheduling across crash/restart cycles).
+    probe_cycle_active: Vec<bool>,
+    /// Per-run, per-node snapshot taken at the instant of a crash, consumed
+    /// by a later restart.
+    crash_snapshots: Vec<Vec<Option<NodeSnapshot<usize>>>>,
+    active_partitions: Vec<PartitionWindow>,
 }
 
 impl Simulator {
@@ -159,12 +445,16 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics when `configs` is empty, when two configurations share a name,
-    /// or when a tracked node index is out of range.
+    /// when a tracked node index is out of range, or when the schedule fails
+    /// [`SimConfig::validate`].
     pub fn new(
         workload: PlanetLabConfig,
         sim_config: SimConfig,
         configs: Vec<(String, NodeConfig)>,
     ) -> Self {
+        let sim_config = sim_config
+            .validate()
+            .unwrap_or_else(|error| panic!("invalid simulation schedule: {error}"));
         assert!(
             !configs.is_empty(),
             "at least one configuration is required"
@@ -180,6 +470,7 @@ impl Simulator {
             );
         }
         let topology = workload.build_topology();
+        let rtt_matrix = topology.base_rtt_matrix();
         let n = topology.len();
         for &tracked in &sim_config.track_nodes {
             assert!(tracked < n, "tracked node {tracked} out of range");
@@ -209,12 +500,14 @@ impl Simulator {
         }
 
         let measurement_duration = sim_config.measurement_duration_s();
+        let run_count = configs.len();
         let runs = configs
             .into_iter()
             .map(|(name, config)| ConfigRun {
                 name,
                 nodes: (0..n).map(|_| StableNode::new(config.clone())).collect(),
                 metrics: ConfigMetrics::new(n, measurement_duration),
+                config,
             })
             .collect();
 
@@ -222,12 +515,37 @@ impl Simulator {
             workload,
             sim_config,
             topology,
+            rtt_matrix,
             links: HashMap::new(),
             neighbor_sets,
             round_robin: vec![0; n],
             runs,
             protocol_rng,
+            scenario: Scenario::new(),
+            alive: vec![true; n],
+            probe_cycle_active: vec![false; n],
+            crash_snapshots: vec![vec![None; n]; run_count],
+            active_partitions: Vec::new(),
         }
+    }
+
+    /// Attaches a churn scenario to the run. Applied identically to every
+    /// named configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario references a node index outside the
+    /// workload.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        if let Some(max) = scenario.max_node() {
+            assert!(
+                max < self.topology.len(),
+                "scenario references node {max}, workload has {} nodes",
+                self.topology.len()
+            );
+        }
+        self.scenario = scenario;
+        self
     }
 
     /// The generated topology (ground-truth base RTTs).
@@ -235,9 +553,13 @@ impl Simulator {
         &self.topology
     }
 
-    fn sample_link(&mut self, a: usize, b: usize, time_s: f64) -> f64 {
-        let key = if a < b { (a, b) } else { (b, a) };
-        let base = self.topology.base_rtt_ms(key.0, key.1);
+    /// Draws one full exchange over the (unordered) link `src`–`dst`: the
+    /// observed RTT, the per-direction loss decisions and the asymmetric
+    /// one-way delays. The base RTT comes from the flattened
+    /// [`RttMatrix`] — one multiply-add per lookup on the hot path.
+    fn sample_exchange(&mut self, src: usize, dst: usize, time_s: f64) -> LinkDraw {
+        let key = if src < dst { (src, dst) } else { (dst, src) };
+        let base = self.rtt_matrix[(key.0, key.1)];
         let seed = self
             .workload
             .seed()
@@ -245,109 +567,132 @@ impl Simulator {
             .wrapping_add(((key.0 as u64) << 32) | key.1 as u64);
         let duration = self.sim_config.duration_s;
         let link_config = self.workload.link_config().clone();
-        self.links
+        let link = self
+            .links
             .entry(key)
-            .or_insert_with(|| LinkModel::new(base, link_config, duration, seed))
-            .sample(time_s)
+            .or_insert_with(|| LinkModel::new(base, link_config, duration, seed));
+        let rtt_ms = link.sample(time_s);
+        let forward_lost = link.sample_loss();
+        let reverse_lost = link.sample_loss();
+        let (lo_to_hi_ms, hi_to_lo_ms) = link.one_way_split(rtt_ms);
+        // The split is stored in (low, high) index order; orient it to the
+        // actual probe direction.
+        let (forward_ms, reverse_ms) = if src == key.0 {
+            (lo_to_hi_ms, hi_to_lo_ms)
+        } else {
+            (hi_to_lo_ms, lo_to_hi_ms)
+        };
+        LinkDraw {
+            rtt_ms,
+            forward_delay_s: forward_ms / 1_000.0,
+            reverse_delay_s: reverse_ms / 1_000.0,
+            forward_lost,
+            reverse_lost,
+        }
+    }
+
+    /// True when an active partition separates `a` from `b` at `time_s`.
+    fn partitioned(&self, a: usize, b: usize, time_s: f64) -> bool {
+        self.active_partitions
+            .iter()
+            .any(|window| time_s < window.heal_at_s && window.members[a] != window.members[b])
+    }
+
+    /// Folds one engine event stream into a node's metric accumulators.
+    /// Losses are counted over the whole run (a dead link produces nothing
+    /// to gate a measurement window on); everything else respects the
+    /// warm-up exclusion.
+    fn fold_events(
+        metrics: &mut NodeMetrics,
+        time_s: f64,
+        measuring: bool,
+        events: &[Event<usize>],
+    ) {
+        for event in events {
+            match event {
+                Event::SystemMoved {
+                    displacement_ms,
+                    relative_error,
+                    application_relative_error,
+                    ..
+                } if measuring => {
+                    metrics.system_errors.push((time_s, *relative_error));
+                    metrics
+                        .application_errors
+                        .push((time_s, *application_relative_error));
+                    if *displacement_ms > 0.0 {
+                        metrics
+                            .system_displacements
+                            .push((time_s, *displacement_ms));
+                    }
+                }
+                Event::ApplicationUpdated { update } if measuring => {
+                    metrics
+                        .application_displacements
+                        .push((time_s, update.displacement_ms));
+                }
+                Event::ProbeLost { .. } => {
+                    metrics.probes_lost += 1;
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Runs the simulation to completion and returns the collected metrics.
     pub fn run(&mut self) -> SimReport {
-        let n = self.topology.len();
-        let steps =
-            (self.sim_config.duration_s / self.sim_config.probe_interval_s).floor() as usize;
-        let measurement_start = self.sim_config.measurement_start_s;
-        let track_every = (self.sim_config.track_interval_s / self.sim_config.probe_interval_s)
-            .round()
-            .max(1.0) as usize;
+        let duration = self.sim_config.duration_s;
+        let mut queue: EventQueue<SimEvent> = EventQueue::new();
 
-        for step in 0..steps {
-            let time_s = step as f64 * self.sim_config.probe_interval_s;
-            let measuring = time_s >= measurement_start;
-
-            for src in 0..n {
-                let neighbor_count = self.neighbor_sets[src].len();
-                if neighbor_count == 0 {
-                    continue;
-                }
-                let dst = self.neighbor_sets[src][self.round_robin[src] % neighbor_count];
-                self.round_robin[src] = self.round_robin[src].wrapping_add(1);
-                if dst == src {
-                    continue;
-                }
-
-                // One raw observation shared by every configuration.
-                let rtt_ms = self.sample_link(src, dst, time_s);
-                let now_ms = (time_s * 1_000.0) as u64;
-
-                for run in &mut self.runs {
-                    // The full sans-I/O wire exchange: src builds a probe,
-                    // dst answers it, the "network" (this simulator) stamps
-                    // the measured round trip in, src digests the events.
-                    let request = run.nodes[src].probe_request_for(dst, now_ms);
-                    let mut response = run.nodes[dst].respond(&request);
-                    response.rtt_ms = rtt_ms;
-                    let events = run.nodes[src].handle_response(&response);
-                    if measuring {
-                        let node_metrics = &mut run.metrics.nodes[src];
-                        node_metrics.observations += 1;
-                        for event in &events {
-                            match event {
-                                Event::SystemMoved {
-                                    displacement_ms,
-                                    relative_error,
-                                    application_relative_error,
-                                    ..
-                                } => {
-                                    node_metrics.system_errors.push((time_s, *relative_error));
-                                    node_metrics
-                                        .application_errors
-                                        .push((time_s, *application_relative_error));
-                                    if *displacement_ms > 0.0 {
-                                        node_metrics
-                                            .system_displacements
-                                            .push((time_s, *displacement_ms));
-                                    }
-                                }
-                                Event::ApplicationUpdated { update } => {
-                                    node_metrics
-                                        .application_displacements
-                                        .push((time_s, update.displacement_ms));
-                                }
-                                Event::NeighborDiscovered { .. }
-                                | Event::ObservationFiltered { .. }
-                                | Event::ObservationRejected { .. } => {}
-                            }
-                        }
-                    }
-                }
-
-                // Gossip: the probed node hands back one address from its own
-                // neighbour set; the prober adds it. Identical across
-                // configurations because it only affects the probe schedule.
-                if self.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
-                    let idx = self
-                        .protocol_rng
-                        .gen_range(0..self.neighbor_sets[dst].len());
-                    let learned = self.neighbor_sets[dst][idx];
-                    if learned != src && !self.neighbor_sets[src].contains(&learned) {
-                        self.neighbor_sets[src].push(learned);
-                    }
-                }
+        for node in self.scenario.initially_down().to_vec() {
+            self.alive[node] = false;
+        }
+        for (index, event) in self.scenario.events().iter().enumerate() {
+            if event.at_s < duration {
+                queue.schedule(event.at_s, SimEvent::ScenarioAction { index });
             }
+        }
+        for src in 0..self.topology.len() {
+            if self.alive[src] {
+                self.probe_cycle_active[src] = true;
+                queue.schedule(0.0, SimEvent::ProbeSend { src });
+            }
+        }
+        if !self.sim_config.track_nodes.is_empty() {
+            queue.schedule(0.0, SimEvent::TrackSample);
+        }
 
-            // Trajectory tracking.
-            if !self.sim_config.track_nodes.is_empty() && step % track_every == 0 {
-                for run in &mut self.runs {
-                    for &node in &self.sim_config.track_nodes {
-                        run.metrics.tracked.push(TrackedCoordinate {
-                            time_s,
-                            node,
-                            system: run.nodes[node].system_coordinate().clone(),
-                            application: run.nodes[node].application_coordinate().clone(),
-                        });
-                    }
-                }
+        while let Some((now, event)) = queue.pop() {
+            if now >= duration {
+                break;
+            }
+            match event {
+                SimEvent::ProbeSend { src } => self.on_probe_send(now, src, &mut queue),
+                SimEvent::ProbeDeliver {
+                    src,
+                    dst,
+                    rtt_ms,
+                    reverse_delay_s,
+                    reverse_lost,
+                    requests,
+                } => self.on_probe_deliver(
+                    now,
+                    src,
+                    dst,
+                    rtt_ms,
+                    reverse_delay_s,
+                    reverse_lost,
+                    requests,
+                    &mut queue,
+                ),
+                SimEvent::ResponseDeliver {
+                    src,
+                    dst,
+                    responses,
+                } => self.on_response_deliver(now, src, dst, &responses),
+                SimEvent::ProbeTimeout { src, seq } => self.on_probe_timeout(src, seq),
+                SimEvent::TrackSample => self.on_track_sample(now, &mut queue),
+                SimEvent::ScenarioAction { index } => self.on_scenario(now, index, &mut queue),
             }
         }
 
@@ -361,11 +706,330 @@ impl Simulator {
             self.sim_config.measurement_start_s,
         )
     }
+
+    fn on_probe_send(&mut self, now: f64, src: usize, queue: &mut EventQueue<SimEvent>) {
+        // Healed partitions are dead weight for every later crossing check;
+        // prune them as the clock passes their heal time.
+        self.active_partitions
+            .retain(|window| window.heal_at_s > now);
+        if !self.alive[src] {
+            // The cycle dies with the node; a restart schedules a new one.
+            self.probe_cycle_active[src] = false;
+            return;
+        }
+        let next_tick = now + self.sim_config.probe_interval_s;
+        if next_tick < self.sim_config.duration_s {
+            queue.schedule(next_tick, SimEvent::ProbeSend { src });
+        } else {
+            self.probe_cycle_active[src] = false;
+        }
+
+        let neighbor_count = self.neighbor_sets[src].len();
+        if neighbor_count == 0 {
+            return;
+        }
+        let dst = self.neighbor_sets[src][self.round_robin[src] % neighbor_count];
+        self.round_robin[src] = self.round_robin[src].wrapping_add(1);
+        if dst == src {
+            return;
+        }
+
+        // One raw observation shared by every configuration.
+        let draw = self.sample_exchange(src, dst, now);
+        let now_ms = (now * 1_000.0) as u64;
+        let requests: Vec<ProbeRequest<usize>> = self
+            .runs
+            .iter_mut()
+            .map(|run| run.nodes[src].probe_request_for(dst, now_ms))
+            .collect();
+
+        // The timer is armed regardless of the probe's fate — exactly what a
+        // deployed prober would do.
+        queue.schedule(
+            now + self.sim_config.probe_timeout_s,
+            SimEvent::ProbeTimeout {
+                src,
+                seq: requests[0].seq,
+            },
+        );
+
+        if draw.forward_lost || self.partitioned(src, dst, now) {
+            return;
+        }
+        queue.schedule(
+            now + draw.forward_delay_s,
+            SimEvent::ProbeDeliver {
+                src,
+                dst,
+                rtt_ms: draw.rtt_ms,
+                reverse_delay_s: draw.reverse_delay_s,
+                reverse_lost: draw.reverse_lost,
+                requests,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_probe_deliver(
+        &mut self,
+        now: f64,
+        src: usize,
+        dst: usize,
+        rtt_ms: f64,
+        reverse_delay_s: f64,
+        reverse_lost: bool,
+        requests: Vec<ProbeRequest<usize>>,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        // A crash between send and delivery silently eats the probe; the
+        // prober's timeout reports the loss.
+        if !self.alive[dst] || self.partitioned(src, dst, now) {
+            return;
+        }
+        let responses: Vec<ProbeResponse<usize>> = self
+            .runs
+            .iter_mut()
+            .zip(&requests)
+            .map(|(run, request)| {
+                let mut response = run.nodes[dst].respond(request);
+                response.rtt_ms = rtt_ms;
+                response
+            })
+            .collect();
+        if reverse_lost {
+            return;
+        }
+        queue.schedule(
+            now + reverse_delay_s,
+            SimEvent::ResponseDeliver {
+                src,
+                dst,
+                responses,
+            },
+        );
+    }
+
+    fn on_response_deliver(
+        &mut self,
+        now: f64,
+        src: usize,
+        dst: usize,
+        responses: &[ProbeResponse<usize>],
+    ) {
+        // A reply reaching a node that crashed meanwhile is dropped; the
+        // pending entry survives in its crash snapshot and is expired as
+        // lost if the node restarts. A reply crossing a partition that
+        // activated while it was in flight is dropped too — every packet
+        // across the boundary, in both directions, is lost until the heal.
+        if !self.alive[src] || self.partitioned(src, dst, now) {
+            return;
+        }
+        let measuring = now >= self.sim_config.measurement_start_s;
+        for (run, response) in self.runs.iter_mut().zip(responses) {
+            let events = run.nodes[src].handle_response(response);
+            let node_metrics = &mut run.metrics.nodes[src];
+            if measuring {
+                node_metrics.observations += 1;
+            }
+            Self::fold_events(node_metrics, now, measuring, &events);
+        }
+
+        // Gossip: the probed node hands back one address from its own
+        // neighbour set; the prober adds it. Identical across
+        // configurations because it only affects the probe schedule.
+        if self.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
+            let idx = self
+                .protocol_rng
+                .gen_range(0..self.neighbor_sets[dst].len());
+            let learned = self.neighbor_sets[dst][idx];
+            if learned != src && !self.neighbor_sets[src].contains(&learned) {
+                self.neighbor_sets[src].push(learned);
+            }
+        }
+    }
+
+    fn on_probe_timeout(&mut self, src: usize, seq: u64) {
+        if !self.alive[src] {
+            return;
+        }
+        // When a configuration's engine evicts the unresponsive peer
+        // (`NodeConfig::max_consecutive_losses`), the shared probe rotation
+        // honours it — but only once *every* configuration has evicted, so
+        // the schedule stays identical across side-by-side stacks. With
+        // matching eviction thresholds (the usual case) they all fire on
+        // the same timeout.
+        let mut target = None;
+        let mut evicted_by_all = true;
+        for run in &mut self.runs {
+            let events = run.nodes[src].handle_timeout(seq);
+            let mut evicted_here = false;
+            for event in &events {
+                match event {
+                    Event::ProbeLost { id, .. } => target = Some(*id),
+                    Event::NeighborEvicted { .. } => evicted_here = true,
+                    _ => {}
+                }
+            }
+            Self::fold_events(&mut run.metrics.nodes[src], 0.0, false, &events);
+            evicted_by_all &= evicted_here;
+        }
+        if evicted_by_all {
+            if let Some(dst) = target {
+                self.neighbor_sets[src].retain(|&member| member != dst);
+            }
+        }
+    }
+
+    fn on_track_sample(&mut self, now: f64, queue: &mut EventQueue<SimEvent>) {
+        for run in &mut self.runs {
+            for &node in &self.sim_config.track_nodes {
+                run.metrics.tracked.push(TrackedCoordinate {
+                    time_s: now,
+                    node,
+                    system: run.nodes[node].system_coordinate().clone(),
+                    application: run.nodes[node].application_coordinate().clone(),
+                });
+            }
+        }
+        let next = now + self.sim_config.track_interval_s;
+        if next < self.sim_config.duration_s {
+            queue.schedule(next, SimEvent::TrackSample);
+        }
+    }
+
+    fn on_scenario(&mut self, now: f64, index: usize, queue: &mut EventQueue<SimEvent>) {
+        let action = self.scenario.events()[index].action.clone();
+        match action {
+            ScenarioAction::Join { nodes } => {
+                for node in nodes {
+                    self.bring_up(now, node, true, queue);
+                }
+            }
+            ScenarioAction::Leave { nodes } => {
+                for node in nodes {
+                    self.alive[node] = false;
+                    // A graceful leaver says goodbye: every live node drops
+                    // it from its probe rotation immediately.
+                    for set in &mut self.neighbor_sets {
+                        set.retain(|&member| member != node);
+                    }
+                }
+            }
+            ScenarioAction::Crash { nodes } => {
+                for node in nodes {
+                    if !self.alive[node] {
+                        continue;
+                    }
+                    self.alive[node] = false;
+                    for run_index in 0..self.runs.len() {
+                        let snapshot = self.runs[run_index].nodes[node].snapshot();
+                        self.crash_snapshots[run_index][node] = Some(snapshot);
+                    }
+                }
+            }
+            ScenarioAction::Restart { nodes } => {
+                for node in nodes {
+                    self.bring_up(now, node, false, queue);
+                }
+            }
+            ScenarioAction::Partition { group, heal_at_s } => {
+                self.start_partition(&group, heal_at_s);
+            }
+            ScenarioAction::PartitionRegions { regions, heal_at_s } => {
+                let group: Vec<usize> = regions
+                    .iter()
+                    .flat_map(|&region| self.topology.nodes_in_region(region))
+                    .collect();
+                self.start_partition(&group, heal_at_s);
+            }
+        }
+    }
+
+    fn start_partition(&mut self, group: &[usize], heal_at_s: f64) {
+        let mut members = vec![false; self.topology.len()];
+        for &node in group {
+            members[node] = true;
+        }
+        self.active_partitions
+            .push(PartitionWindow { heal_at_s, members });
+    }
+
+    /// Brings a down node back up: fresh engines on a join, crash-snapshot
+    /// restores on a restart. Either way its probe cycle resumes
+    /// immediately and any probes outstanding at the crash are expired as
+    /// lost (a rebooted daemon stops waiting for pre-crash replies).
+    fn bring_up(&mut self, now: f64, node: usize, fresh: bool, queue: &mut EventQueue<SimEvent>) {
+        if self.alive[node] {
+            return;
+        }
+        self.alive[node] = true;
+        let now_ms = (now * 1_000.0) as u64;
+        for run_index in 0..self.runs.len() {
+            let snapshot = if fresh {
+                None
+            } else {
+                self.crash_snapshots[run_index][node].take()
+            };
+            let run = &mut self.runs[run_index];
+            let mut revived = match snapshot {
+                Some(snapshot) => StableNode::restore(run.config.clone(), &snapshot)
+                    .expect("a crash snapshot restores under its own configuration"),
+                None => StableNode::new(run.config.clone()),
+            };
+            let events = revived.expire_pending(now_ms, 0);
+            Self::fold_events(&mut run.metrics.nodes[node], now, false, &events);
+            run.nodes[node] = revived;
+        }
+        if fresh {
+            // A joiner bootstraps a fresh neighbour set of live peers, and
+            // announces itself to them (the membership-file introduction of
+            // the paper's deployments) so the mesh starts probing it back;
+            // gossip spreads its address from there.
+            self.round_robin[node] = 0;
+            let n = self.topology.len();
+            let want = self.sim_config.initial_neighbors.min(
+                self.alive
+                    .iter()
+                    .filter(|&&up| up)
+                    .count()
+                    .saturating_sub(1),
+            );
+            let mut set = Vec::new();
+            let mut attempts = 0;
+            while set.len() < want && attempts < n * 16 {
+                attempts += 1;
+                let candidate = self.protocol_rng.gen_range(0..n);
+                if candidate != node && self.alive[candidate] && !set.contains(&candidate) {
+                    set.push(candidate);
+                }
+            }
+            for &seed in &set {
+                if !self.neighbor_sets[seed].contains(&node) {
+                    self.neighbor_sets[seed].push(node);
+                }
+            }
+            self.neighbor_sets[node] = set;
+        }
+        if !self.probe_cycle_active[node] {
+            self.probe_cycle_active[node] = true;
+            queue.schedule(now, SimEvent::ProbeSend { src: node });
+        }
+    }
+}
+
+/// One sampled exchange over a link.
+struct LinkDraw {
+    rtt_ms: f64,
+    forward_delay_s: f64,
+    reverse_delay_s: f64,
+    forward_lost: bool,
+    reverse_lost: bool,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::linkmodel::LinkModelConfig;
     use stable_nc::NodeConfig;
 
     fn quick_sim(configs: Vec<(String, NodeConfig)>) -> SimReport {
@@ -393,6 +1057,75 @@ mod tests {
                 ("a".into(), NodeConfig::original_vivaldi()),
             ],
         );
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let good = SimConfig::new(100.0, 5.0);
+        assert!(good.clone().validate().is_ok());
+        let mut bad = good.clone();
+        bad.duration_s = 0.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::NonPositiveDuration(_))
+        ));
+        let mut bad = good.clone();
+        bad.probe_interval_s = f64::NAN;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::NonPositiveProbeInterval(_))
+        ));
+        let mut bad = good.clone();
+        bad.probe_interval_s = 500.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::ProbeIntervalExceedsDuration { .. })
+        ));
+        let mut bad = good.clone();
+        bad.measurement_start_s = 100.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::MeasurementStartOutOfRange { .. })
+        ));
+        let mut bad = good.clone();
+        bad.track_interval_s = -1.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::NonPositiveTrackInterval(_))
+        ));
+        let mut bad = good.clone();
+        bad.probe_timeout_s = 0.0;
+        let error = bad.validate().unwrap_err();
+        assert!(matches!(error, ConfigError::NonPositiveProbeTimeout(_)));
+        assert!(!error.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation schedule")]
+    fn constructor_panics_through_validate() {
+        let _ = SimConfig::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_then_fifo_order() {
+        let mut queue: EventQueue<&str> = EventQueue::new();
+        queue.schedule(5.0, "late");
+        queue.schedule(1.0, "early-first");
+        queue.schedule(1.0, "early-second");
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.peek_time(), Some(1.0));
+        assert_eq!(queue.pop(), Some((1.0, "early-first")));
+        assert_eq!(queue.pop(), Some((1.0, "early-second")));
+        assert_eq!(queue.pop(), Some((5.0, "late")));
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "event times must be finite")]
+    fn event_queue_rejects_nan_times() {
+        let mut queue: EventQueue<u8> = EventQueue::new();
+        queue.schedule(f64::NAN, 0);
     }
 
     #[test]
@@ -494,5 +1227,264 @@ mod tests {
         assert_eq!(c.duration_s, 4.0 * 3600.0);
         assert_eq!(c.probe_interval_s, 5.0);
         assert_eq!(c.measurement_duration_s(), 2.0 * 3600.0);
+        assert_eq!(c.probe_timeout_s, 15.0);
+    }
+
+    #[test]
+    fn lossy_links_report_probe_losses_without_stalling() {
+        let workload = PlanetLabConfig::small(10)
+            .with_seed(4)
+            .with_link_config(LinkModelConfig::default().with_loss_probability(0.05));
+        let sim_config = SimConfig::new(600.0, 5.0)
+            .with_measurement_start(100.0)
+            .with_initial_neighbors(4);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .run();
+        let metrics = report.config("mp").unwrap();
+        assert!(
+            metrics.total_probes_lost() > 0,
+            "5% loss must produce ProbeLost events"
+        );
+        // The schedule never stalls: observations keep flowing and the
+        // embedding still converges.
+        let observed: u64 = metrics.nodes.iter().map(|n| n.observations).sum();
+        assert!(observed > 500, "only {observed} observations got through");
+        assert!(metrics.median_of_median_relative_error() < 0.8);
+    }
+
+    #[test]
+    fn total_loss_yields_only_probe_losses() {
+        let workload = PlanetLabConfig::small(6)
+            .with_seed(8)
+            .with_link_config(LinkModelConfig::default().with_loss_probability(1.0));
+        let sim_config = SimConfig::new(200.0, 5.0).with_measurement_start(10.0);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .run();
+        let metrics = report.config("mp").unwrap();
+        assert!(metrics.total_probes_lost() > 0);
+        for node in &metrics.nodes {
+            assert!(node.system_errors.is_empty(), "no observation can arrive");
+            assert_eq!(node.observations, 0);
+        }
+    }
+
+    #[test]
+    fn crash_restart_restores_state_and_recovers() {
+        let workload = PlanetLabConfig::small(10).with_seed(6);
+        let sim_config = SimConfig::new(1_200.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4);
+        let crashed = vec![0, 1];
+        let scenario = Scenario::crash_restart(crashed.clone(), 600.0, 700.0);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .with_scenario(scenario)
+        .run();
+        let metrics = report.config("mp").unwrap();
+        for &node in &crashed {
+            let times: Vec<f64> = metrics.nodes[node]
+                .system_errors
+                .iter()
+                .map(|(t, _)| *t)
+                .collect();
+            assert!(
+                times.iter().any(|&t| t < 600.0),
+                "node {node} observed before the crash"
+            );
+            assert!(
+                !times.iter().any(|&t| (600.0..700.0).contains(&t)),
+                "node {node} must be silent while down"
+            );
+            assert!(
+                times.iter().any(|&t| t > 700.0),
+                "node {node} resumed after the restart"
+            );
+        }
+        // Probes of the dead nodes timed out and were reported.
+        assert!(metrics.total_probes_lost() > 0);
+    }
+
+    #[test]
+    fn graceful_leavers_stop_being_probed() {
+        let workload = PlanetLabConfig::small(8).with_seed(2);
+        let sim_config = SimConfig::new(600.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(3);
+        let scenario = Scenario::new().at(300.0, ScenarioAction::Leave { nodes: vec![5] });
+        let mut sim = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .with_scenario(scenario);
+        let report = sim.run();
+        let metrics = report.config("mp").unwrap();
+        assert!(
+            metrics.nodes[5]
+                .system_errors
+                .iter()
+                .all(|(t, _)| *t <= 300.5),
+            "a leaver stops observing"
+        );
+        // Nobody keeps it in their rotation.
+        for (i, set) in sim.neighbor_sets.iter().enumerate() {
+            if i != 5 {
+                assert!(!set.contains(&5), "node {i} still probes the leaver");
+            }
+        }
+        // Announced departure: no timeouts needed to learn it.
+        assert_eq!(metrics.total_probes_lost(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_joiners_participate_after_joining() {
+        let workload = PlanetLabConfig::small(12).with_seed(5);
+        let sim_config = SimConfig::new(900.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4);
+        let crowd = vec![9, 10, 11];
+        let scenario = Scenario::flash_crowd(crowd.clone(), 300.0);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .with_scenario(scenario)
+        .run();
+        let metrics = report.config("mp").unwrap();
+        for &node in &crowd {
+            let times: Vec<f64> = metrics.nodes[node]
+                .system_errors
+                .iter()
+                .map(|(t, _)| *t)
+                .collect();
+            assert!(
+                times.iter().all(|&t| t >= 300.0),
+                "down nodes observe nothing"
+            );
+            assert!(
+                times.len() > 10,
+                "joiner {node} embeds after joining ({} samples)",
+                times.len()
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_drop_cross_group_probes_until_heal() {
+        let workload = PlanetLabConfig::small(8).with_seed(12);
+        let sim_config = SimConfig::new(700.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4);
+        let scenario = Scenario::new().at(
+            200.0,
+            ScenarioAction::Partition {
+                group: vec![0, 1, 2, 3],
+                heal_at_s: 400.0,
+            },
+        );
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .with_scenario(scenario)
+        .run();
+        let metrics = report.config("mp").unwrap();
+        assert!(
+            metrics.total_probes_lost() > 0,
+            "cross-partition probes must time out"
+        );
+        // After the heal, observations keep accruing for everyone.
+        for node in &metrics.nodes {
+            assert!(node.system_errors.iter().any(|(t, _)| *t > 450.0));
+        }
+    }
+
+    #[test]
+    fn scenarios_apply_identically_to_every_configuration() {
+        // The schedule (who probes whom, when, what is lost) must not depend
+        // on the coordinate stack: under churn, both configurations see the
+        // same probe counts per node.
+        let run = || {
+            let workload = PlanetLabConfig::small(10)
+                .with_seed(7)
+                .with_link_config(LinkModelConfig::default().with_loss_probability(0.03));
+            let sim_config = SimConfig::new(800.0, 5.0)
+                .with_measurement_start(0.0)
+                .with_initial_neighbors(4);
+            Simulator::new(
+                workload,
+                sim_config,
+                vec![
+                    ("mp".into(), NodeConfig::paper_defaults()),
+                    ("raw".into(), NodeConfig::original_vivaldi()),
+                ],
+            )
+            .with_scenario(Scenario::crash_restart(vec![2, 3], 300.0, 450.0))
+            .run()
+        };
+        let report = run();
+        let mp = report.config("mp").unwrap();
+        let raw = report.config("raw").unwrap();
+        for (a, b) in mp.nodes.iter().zip(raw.nodes.iter()) {
+            assert_eq!(a.observations, b.observations);
+            assert_eq!(a.probes_lost, b.probes_lost);
+        }
+    }
+
+    #[test]
+    fn engine_eviction_removes_dead_peers_from_the_rotation() {
+        // With eviction configured, a crashed node is dropped from every
+        // survivor's shared rotation after `max_consecutive_losses` straight
+        // timeouts — losses stop accruing instead of repeating forever.
+        // Gossip is off so the evicted address cannot be re-learned.
+        let workload = PlanetLabConfig::small(8).with_seed(3);
+        let sim_config = SimConfig::new(900.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4)
+            .with_gossip(false);
+        let config = NodeConfig::builder().max_consecutive_losses(3).build();
+        let scenario = Scenario::new().at(200.0, ScenarioAction::Crash { nodes: vec![5] });
+        let mut sim = Simulator::new(workload, sim_config, vec![("mp".into(), config)])
+            .with_scenario(scenario);
+        let report = sim.run();
+        let metrics = report.config("mp").unwrap();
+        assert!(metrics.total_probes_lost() > 0, "timeouts fired");
+        for (node, set) in sim.neighbor_sets.iter().enumerate() {
+            if node != 5 {
+                assert!(
+                    !set.contains(&5),
+                    "node {node} still probes the evicted peer"
+                );
+                assert!(
+                    metrics.nodes[node].probes_lost <= 3,
+                    "node {node} lost {} probes — eviction should cap the streak at 3",
+                    metrics.nodes[node].probes_lost
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario references node")]
+    fn scenario_node_indices_are_validated() {
+        let _ = Simulator::new(
+            PlanetLabConfig::small(4),
+            SimConfig::new(100.0, 5.0),
+            vec![("mp".into(), NodeConfig::paper_defaults())],
+        )
+        .with_scenario(Scenario::crash_restart(vec![9], 10.0, 20.0));
     }
 }

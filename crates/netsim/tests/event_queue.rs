@@ -1,0 +1,90 @@
+//! Property tests for the discrete-event core (vendored proptest).
+//!
+//! Two invariants carry the whole simulator:
+//!
+//! 1. the [`EventQueue`] pops events in nondecreasing time order, FIFO among
+//!    equal times — the determinism and causality guarantee every handler
+//!    relies on;
+//! 2. a link that loses every packet produces *only* `ProbeLost` events:
+//!    no observation arrives, no coordinate ever moves, and the probe
+//!    schedule still runs to completion (lost probes never stall it).
+
+use proptest::prelude::*;
+
+use nc_netsim::linkmodel::LinkModelConfig;
+use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::sim::{EventQueue, SimConfig, Simulator};
+use stable_nc::NodeConfig;
+
+proptest! {
+    #[test]
+    fn pops_are_nondecreasing_in_time(
+        times in proptest::collection::vec(0.0f64..10_000.0, 1..200),
+    ) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for (index, &time) in times.iter().enumerate() {
+            queue.schedule(time, index);
+        }
+        prop_assert_eq!(queue.len(), times.len());
+        let mut last = f64::NEG_INFINITY;
+        let mut popped = 0;
+        while let Some((time, index)) = queue.pop() {
+            prop_assert!(
+                time >= last,
+                "event {} at {} popped after an event at {}", index, time, last
+            );
+            prop_assert_eq!(time, times[index]);
+            last = time;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+        prop_assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order(
+        time in 0.0f64..100.0,
+        count in 2usize..50,
+    ) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for index in 0..count {
+            queue.schedule(time, index);
+        }
+        for expected in 0..count {
+            let (popped_time, index) = queue.pop().unwrap();
+            prop_assert_eq!(popped_time, time);
+            prop_assert_eq!(index, expected, "FIFO among equal times");
+        }
+    }
+
+    #[test]
+    fn total_loss_yields_only_probe_lost_and_frozen_coordinates(
+        seed in 0u64..500,
+    ) {
+        let workload = PlanetLabConfig::small(5)
+            .with_seed(seed)
+            .with_link_config(LinkModelConfig::default().with_loss_probability(1.0));
+        let sim_config = SimConfig::new(120.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(2);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".to_string(), NodeConfig::paper_defaults())],
+        )
+        .run();
+        let metrics = report.config("mp").unwrap();
+        prop_assert!(
+            metrics.total_probes_lost() > 0,
+            "every probe must eventually be reported lost (seed {})", seed
+        );
+        for (node, node_metrics) in metrics.nodes.iter().enumerate() {
+            prop_assert!(
+                node_metrics.system_errors.is_empty(),
+                "node {} observed through a 100% lossy mesh (seed {})", node, seed
+            );
+            prop_assert!(node_metrics.system_displacements.is_empty());
+            prop_assert_eq!(node_metrics.observations, 0);
+        }
+    }
+}

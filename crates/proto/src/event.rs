@@ -66,6 +66,24 @@ pub enum Event<Id> {
         /// The published change.
         update: ApplicationUpdate,
     },
+    /// An outstanding probe expired without a reply (the driver declared it
+    /// timed out, or the engine expired it on the driver's behalf). The
+    /// probe slot is released and the round-robin schedule keeps advancing —
+    /// a lost probe never stalls the engine.
+    ProbeLost {
+        /// The peer that was probed and never answered.
+        id: Id,
+        /// Sequence number the lost probe carried.
+        seq: u64,
+    },
+    /// The peer answered none of its last `max_consecutive_losses` probes
+    /// and was dropped from the neighbour table and the probe schedule
+    /// (crashed, partitioned away, or gone for good). Only emitted when the
+    /// configuration enables eviction.
+    NeighborEvicted {
+        /// The evicted peer.
+        id: Id,
+    },
 }
 
 impl<Id> Event<Id> {
@@ -75,7 +93,9 @@ impl<Id> Event<Id> {
             Event::NeighborDiscovered { id }
             | Event::ObservationFiltered { id, .. }
             | Event::ObservationRejected { id, .. }
-            | Event::SystemMoved { id, .. } => Some(id),
+            | Event::SystemMoved { id, .. }
+            | Event::ProbeLost { id, .. }
+            | Event::NeighborEvicted { id } => Some(id),
             Event::ApplicationUpdated { .. } => None,
         }
     }
@@ -110,6 +130,25 @@ mod tests {
         };
         assert_eq!(update.peer(), None);
         assert!(update.is_application_update());
+    }
+
+    #[test]
+    fn loss_events_name_their_peer() {
+        let lost: Event<u32> = Event::ProbeLost { id: 9, seq: 41 };
+        assert_eq!(lost.peer(), Some(&9));
+        assert!(!lost.is_application_update());
+        let evicted: Event<u32> = Event::NeighborEvicted { id: 9 };
+        assert_eq!(evicted.peer(), Some(&9));
+    }
+
+    #[test]
+    fn loss_events_serialize_round_trip() {
+        let lost: Event<String> = Event::ProbeLost {
+            id: "peer".into(),
+            seq: 7,
+        };
+        let back: Event<String> = serde::json::from_str(&serde::json::to_string(&lost)).unwrap();
+        assert_eq!(back, lost);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   driver-supplied timestamps used to measure the round trip.
 //! * [`Event`] — the typed observations an engine emits while digesting
 //!   responses: filter suppressions, Vivaldi rejections, system-level
-//!   movement, application-level updates and neighbour discovery.
+//!   movement, application-level updates, neighbour discovery, probe losses
+//!   and neighbour eviction.
 //! * [`NodeSnapshot`] — the full serializable runtime state of a node
 //!   (Vivaldi state, per-link filter states, application-level coordinate
 //!   manager state, neighbour table and probe-scheduling cursors) for
@@ -56,7 +57,7 @@ pub mod snapshot;
 pub mod wire;
 
 pub use event::Event;
-pub use snapshot::{LinkSnapshot, NodeSnapshot};
+pub use snapshot::{LinkSnapshot, NodeSnapshot, PendingProbe};
 pub use wire::{
     GossipEntry, ProbeRequest, ProbeResponse, WireError, WireMessage, PROTOCOL_VERSION,
 };

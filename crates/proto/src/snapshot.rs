@@ -17,6 +17,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::wire::WireMessage;
 
+/// One probe that has been sent but not yet answered or expired.
+///
+/// The engine records every outgoing probe here; the entry is released when
+/// the matching response arrives ([`crate::ProbeResponse::seq`] echoes the
+/// request's sequence number) or when the driver declares the probe timed
+/// out. Snapshots carry the table so a restored node neither forgets about
+/// in-flight probes nor double-counts their eventual loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingProbe<Id> {
+    /// The peer the probe was addressed to.
+    pub target: Id,
+    /// Sequence number the probe carried.
+    pub seq: u64,
+    /// Driver clock reading when the probe was built (milliseconds).
+    pub sent_at_ms: u64,
+}
+
 /// Everything a node remembers about one link/neighbour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkSnapshot<Id> {
@@ -69,6 +86,11 @@ pub struct NodeSnapshot<Id> {
     pub probe_seq: u64,
     /// Round-robin cursor over `membership` for choosing gossip payloads.
     pub gossip_cursor: usize,
+    /// Probes sent but not yet answered or expired, oldest first.
+    pub pending: Vec<PendingProbe<Id>>,
+    /// Consecutive unanswered probes per peer (the eviction counter), in
+    /// membership order so snapshots are deterministic.
+    pub loss_streaks: Vec<(Id, u32)>,
 }
 
 impl<Id: Serialize> WireMessage for NodeSnapshot<Id> {
@@ -130,6 +152,12 @@ mod tests {
             probe_cursor: 1,
             probe_seq: 3,
             gossip_cursor: 0,
+            pending: vec![PendingProbe {
+                target: "peer-b".into(),
+                seq: 2,
+                sent_at_ms: 900,
+            }],
+            loss_streaks: vec![("peer-b".into(), 1)],
         }
     }
 

@@ -16,7 +16,10 @@ use serde::{Deserialize, Serialize};
 
 /// Version tag carried by every wire message and snapshot produced by this
 /// crate. Bump on any incompatible change to the message layouts.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the pending-probe table and per-peer loss streaks to
+/// [`crate::NodeSnapshot`] (the bookkeeping behind probe timeouts).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Errors produced while decoding wire messages.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -23,6 +23,7 @@
 //! Run with: `cargo run --release --example overlay_placement`
 
 use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::scenario::Scenario;
 use nc_netsim::sim::{SimConfig, Simulator};
 use nc_vivaldi::Coordinate;
 use stable_nc::NodeConfig;
@@ -69,8 +70,19 @@ fn main() {
                 .build(),
         ),
     ];
-    println!("simulating the coordinate layer for 24 overlay nodes (4 replicas) ...\n");
-    let report = Simulator::new(workload, sim_config, configs).run();
+    // Mid-run churn: one replica host crashes for five minutes and restarts
+    // from the snapshot taken at the instant it died — the overlay must ride
+    // through the outage without a migration storm when it follows
+    // application-level coordinates.
+    let scenario = Scenario::crash_restart(vec![3], 1_500.0, 1_800.0);
+
+    println!(
+        "simulating the coordinate layer for 24 overlay nodes (4 replicas);\n\
+         replica 3 crashes at t=1500s and restarts from its snapshot at t=1800s ...\n"
+    );
+    let report = Simulator::new(workload, sim_config, configs)
+        .with_scenario(scenario)
+        .run();
 
     for (name, metrics) in report.iter() {
         // Replay the tracked coordinate snapshots: at every snapshot the

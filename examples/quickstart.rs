@@ -26,12 +26,26 @@ fn main() {
         .collect();
 
     // Feed the ping trace through the wire protocol: each record becomes one
-    // request/response exchange, timed by the trace.
+    // request/response exchange, timed by the trace. Every ~33rd probe is
+    // "lost in the network" — the prober never hears back, its pending-probe
+    // entry expires on the next tick, and the engine reports a typed
+    // ProbeLost event instead of stalling the round-robin schedule.
     let mut app_updates_node0 = 0u64;
+    let mut probes_lost = 0u64;
     let mut snapshot_blob: Option<String> = None;
-    for record in generator.generate() {
+    for (index, record) in generator.generate().into_iter().enumerate() {
         let now_ms = (record.time_s * 1_000.0) as u64;
         let request = nodes[record.src].probe_request_for(record.dst, now_ms);
+        if index % 33 == 17 {
+            // Dropped probe: expire everything older than a 10 s timeout,
+            // exactly as a daemon's timer tick would.
+            probes_lost += nodes[record.src]
+                .expire_pending(now_ms.saturating_add(10_000), 10_000)
+                .iter()
+                .filter(|e| matches!(e, Event::ProbeLost { .. }))
+                .count() as u64;
+            continue;
+        }
         let mut response = nodes[record.dst].respond(&request);
         response.rtt_ms = record.rtt_ms; // the driver measures the round trip
         let events = nodes[record.src].handle_response(&response);
@@ -72,6 +86,7 @@ fn main() {
         app_updates_node0,
         nodes[0].observations()
     );
+    println!("{probes_lost} probes were dropped by the network and expired as ProbeLost");
 
     // Restore the mid-run snapshot into a fresh engine: the revived node
     // carries the exact coordinate, filter windows and probe schedule the

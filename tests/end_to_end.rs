@@ -2,7 +2,9 @@
 //! through the wire protocol, filters, Vivaldi, change detection and metric
 //! collection.
 
+use nc_netsim::linkmodel::LinkModelConfig;
 use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::scenario::Scenario;
 use nc_netsim::sim::{SimConfig, Simulator};
 use nc_netsim::trace::{TraceConfig, TraceGenerator, TraceRecord};
 use stable_network_coordinates::{
@@ -306,6 +308,123 @@ fn node_snapshotted_mid_run_replays_to_identical_coordinates() {
         restored.application_update_count(),
         nodes[0].application_update_count()
     );
+}
+
+#[test]
+fn quarter_of_the_mesh_crash_restarts_and_reconverges() {
+    // The churn acceptance scenario: 25% of the nodes crash at t = 1800 s,
+    // restart from the snapshots taken at the instant of the crash at
+    // t = 2100 s, and by the end of the run the mesh's accuracy is back to
+    // within 10% of its pre-crash value.
+    let workload = PlanetLabConfig::small(16).with_seed(99);
+    let sim_config = SimConfig::new(3_000.0, 5.0)
+        .with_measurement_start(0.0)
+        .with_initial_neighbors(6);
+    let crashed: Vec<usize> = vec![0, 1, 2, 3]; // 4 of 16 = 25%
+    let scenario = Scenario::crash_restart(crashed.clone(), 1_800.0, 2_100.0);
+    let report = Simulator::new(
+        workload,
+        sim_config,
+        vec![("paper".to_string(), NodeConfig::paper_defaults())],
+    )
+    .with_scenario(scenario)
+    .run();
+    let metrics = report.config("paper").expect("configuration ran");
+
+    let pre_crash = metrics
+        .pooled_median_relative_error_between(1_500.0, 1_800.0)
+        .expect("pre-crash samples exist");
+    let end_of_run = metrics
+        .pooled_median_relative_error_between(2_700.0, 3_000.0)
+        .expect("post-restart samples exist");
+    assert!(
+        end_of_run <= pre_crash * 1.10,
+        "median relative error must re-converge to within 10% of its \
+         pre-crash value: pre {pre_crash:.4}, end {end_of_run:.4}"
+    );
+
+    // The restarted nodes really went down and really came back.
+    for &node in &crashed {
+        let times: Vec<f64> = metrics.nodes[node]
+            .system_errors
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
+        assert!(
+            !times.iter().any(|&t| (1_800.0..2_100.0).contains(&t)),
+            "node {node} observed while down"
+        );
+        assert!(
+            times.iter().filter(|&&t| t > 2_100.0).count() > 20,
+            "node {node} resumed probing after its restart"
+        );
+    }
+    // Survivors' probes of the dead quarter timed out and were reported.
+    assert!(metrics.total_probes_lost() > 0);
+}
+
+#[test]
+fn lossy_mesh_completes_with_probe_losses_reported() {
+    // 5% per-direction packet loss: the run completes, ProbeLost counts
+    // appear in the report, and the schedule never stalls — the embedding
+    // still converges to a useful accuracy.
+    let workload =
+        quick_workload().with_link_config(LinkModelConfig::default().with_loss_probability(0.05));
+    let report = Simulator::new(
+        workload,
+        quick_schedule(),
+        vec![("paper".to_string(), NodeConfig::paper_defaults())],
+    )
+    .run();
+    let metrics = report.config("paper").expect("configuration ran");
+    assert!(
+        metrics.total_probes_lost() > 0,
+        "5% loss must surface as ProbeLost counts in the report"
+    );
+    let observed: u64 = metrics.nodes.iter().map(|n| n.observations).sum();
+    assert!(
+        observed > 1_000,
+        "the schedule must keep advancing through losses, got {observed} observations"
+    );
+    let median_error = metrics.median_of_median_relative_error();
+    assert!(
+        median_error < 0.6,
+        "the embedding still converges under loss, got {median_error:.3}"
+    );
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_reports_even_under_churn() {
+    // Determinism acceptance: the same protocol seed and workload seed must
+    // reproduce the serialized SimReport byte for byte — with loss, delay
+    // asymmetry and a churn scenario all active.
+    let run = || {
+        let workload = PlanetLabConfig::small(12).with_seed(7).with_link_config(
+            LinkModelConfig::default()
+                .with_loss_probability(0.03)
+                .with_delay_asymmetry(0.2),
+        );
+        let sim_config = SimConfig::new(1_000.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4)
+            .with_protocol_seed(0xBEEF);
+        let scenario = Scenario::crash_restart(vec![1, 2, 3], 400.0, 550.0);
+        let report = Simulator::new(
+            workload,
+            sim_config,
+            vec![
+                ("paper".to_string(), NodeConfig::paper_defaults()),
+                ("raw".to_string(), NodeConfig::original_vivaldi()),
+            ],
+        )
+        .with_scenario(scenario)
+        .run();
+        serde::json::to_string(&report)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "serialized reports diverged between runs");
+    assert!(!first.is_empty());
 }
 
 #[test]
