@@ -2,9 +2,15 @@
 //! of the paper's deployment schedule (5 s probe interval) at 256 nodes —
 //! ~184k full wire exchanges through the event queue — plus a lossy/churn
 //! variant that additionally exercises timeouts, `ProbeLost` accounting and
-//! the snapshot-restore path. `cargo bench --no-run` in CI compiles these
-//! targets, so any breakage of the scenario or event-queue API is caught
-//! even when the benches are not executed.
+//! the snapshot-restore path, and a 4096-node hour (~2.9M exchanges) that
+//! tracks the allocation-free hot path at production-study scale.
+//! `cargo bench --no-run` in CI compiles these targets, so any breakage of
+//! the scenario or event-queue API is caught even when the benches are not
+//! executed.
+//!
+//! `cargo run -p nc-bench --release --bin bench_report` runs the same
+//! workloads and records the medians in `BENCH_sim.json`, the perf
+//! trajectory tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -57,5 +63,31 @@ fn bench_simulated_hour(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulated_hour);
+fn bench_simulated_hour_4096(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_sim");
+    // A 4096-node hour pushes ~2.9M wire exchanges per iteration; two
+    // samples keep the whole target under a minute while still exposing a
+    // gross regression.
+    group.sample_size(2);
+    group.measurement_time(Duration::from_secs(60));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("one_hour_4096_nodes", |b| {
+        b.iter(|| {
+            let workload = PlanetLabConfig::small(4096).with_seed(20050502);
+            let sim_config = SimConfig::new(3_600.0, 5.0).with_measurement_start(1_800.0);
+            let report = Simulator::new(
+                workload,
+                sim_config,
+                vec![("mp".to_string(), NodeConfig::paper_defaults())],
+            )
+            .run();
+            black_box(report)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_hour, bench_simulated_hour_4096);
 criterion_main!(benches);

@@ -94,6 +94,80 @@ fn bench_vivaldi_update(c: &mut Criterion) {
     });
 }
 
+/// Tight loops over the allocation-free hot path, so a heap allocation or a
+/// regression creeping back into the per-observation arithmetic is directly
+/// visible as a per-op time jump. These benches measure *single* operations
+/// (amortised over a tight loop), unlike the per-1000-observation batches
+/// above.
+fn bench_hot_path_tight_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_tight_loop");
+
+    // Coordinate algebra: the exact op sequence of one Vivaldi spring step.
+    let a = Coordinate::new(vec![12.0, -7.0, 3.0]).unwrap();
+    let bcoord = Coordinate::new(vec![-4.0, 9.0, 21.0]).unwrap();
+    group.bench_function("coordinate_algebra_1000_steps", |b| {
+        b.iter(|| {
+            let mut acc = a.clone();
+            for _ in 0..1000 {
+                let distance = acc.distance(black_box(&bcoord));
+                let mut direction = acc
+                    .unit_vector_from(black_box(&bcoord))
+                    .expect("distinct points");
+                direction.scale_in_place(0.25 * (60.0 - distance));
+                acc.displace_by(&direction);
+                black_box(&acc);
+            }
+            acc
+        })
+    });
+
+    // One full Vivaldi update on a warmed state (steady state: no
+    // tie-breaking, no warm-up effects).
+    group.bench_function("vivaldi_single_update_x1000", |b| {
+        b.iter_batched(
+            || {
+                let mut state = VivaldiState::new(VivaldiConfig::paper_defaults());
+                let remote = Coordinate::new(vec![30.0, 40.0, 10.0]).unwrap();
+                for _ in 0..32 {
+                    state.observe(&RemoteObservation::new(remote.clone(), 0.4, 60.0));
+                }
+                (state, remote)
+            },
+            |(mut state, remote)| {
+                for i in 0..1000u32 {
+                    let obs = RemoteObservation::new(remote.clone(), 0.4, 60.0 + (i % 7) as f64);
+                    black_box(state.observe(&obs));
+                }
+                state
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // One MP-filter observation on a full window (steady state: the expiring
+    // sample is removed and the new one inserted by binary search).
+    group.bench_function("moving_percentile_observe_x1000", |b| {
+        b.iter_batched(
+            || {
+                let mut filter = MovingPercentileFilter::paper_defaults();
+                for raw in [80.0, 82.0, 79.0, 81.0] {
+                    filter.observe(raw);
+                }
+                filter
+            },
+            |mut filter| {
+                for i in 0..1000u32 {
+                    black_box(filter.observe(78.0 + (i % 11) as f64));
+                }
+                filter
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
 fn bench_change_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("change_detection_per_update");
     let coords: Vec<Coordinate> = (0..128)
@@ -185,6 +259,7 @@ criterion_group!(
     micro,
     bench_filters,
     bench_vivaldi_update,
+    bench_hot_path_tight_loops,
     bench_change_detection,
     bench_statistics,
     bench_stable_node

@@ -1,0 +1,156 @@
+//! Bench-to-JSON reporter: runs the macro simulator benchmarks and writes
+//! `BENCH_sim.json` at the workspace root, so the performance trajectory is
+//! tracked across PRs instead of living only in terminal scrollback.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p nc-bench --release --bin bench_report           # full run
+//! cargo run -p nc-bench --release --bin bench_report -- --quick
+//! ```
+//!
+//! The full run measures the 256-node hour (median of 3), its lossy/churn
+//! variant (median of 3) and the 4096-node hour (1 iteration, ~30 s);
+//! `--quick` runs single iterations of the 256-node workloads only. The
+//! JSON maps bench name → median nanoseconds, node count and approximate
+//! simulator events per second, and embeds the frozen pre-PR-3 baseline for
+//! before/after comparison.
+
+use std::time::Instant;
+
+use nc_netsim::linkmodel::LinkModelConfig;
+use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::scenario::Scenario;
+use nc_netsim::sim::{SimConfig, Simulator};
+use stable_nc::NodeConfig;
+
+/// One simulated hour at the paper's deployment probe interval.
+const DURATION_S: f64 = 3_600.0;
+const PROBE_INTERVAL_S: f64 = 5.0;
+
+/// Baselines frozen immediately before PR 3 (allocation-free hot path),
+/// measured as the mean of 10 samples of `cargo bench -p nc-bench --bench
+/// event_sim` on the development machine. Kept in the report so the
+/// speedup claim stays auditable without digging through git history.
+const PRE_PR3_BASELINE: &[(&str, u64, f64)] = &[
+    ("event_sim/one_hour_256_nodes", 256, 1.298e9),
+    ("event_sim/one_hour_256_nodes_lossy_churn", 256, 1.054e9),
+];
+
+struct BenchResult {
+    name: &'static str,
+    nodes: u64,
+    median_ns: f64,
+    events_per_sec: f64,
+}
+
+/// Approximate number of discrete events one simulated hour generates: each
+/// node launches a probe every interval, and a delivered exchange costs four
+/// queue events (send, deliver, response, timeout no-op).
+fn approx_events(nodes: u64) -> f64 {
+    let ticks = (DURATION_S / PROBE_INTERVAL_S).floor();
+    nodes as f64 * ticks * 4.0
+}
+
+fn run_sim(nodes: usize, lossy_churn: bool) -> std::time::Duration {
+    let start = Instant::now();
+    let mut workload = PlanetLabConfig::small(nodes).with_seed(20050502);
+    if lossy_churn {
+        workload =
+            workload.with_link_config(LinkModelConfig::default().with_loss_probability(0.02));
+    }
+    let sim_config = SimConfig::new(DURATION_S, PROBE_INTERVAL_S).with_measurement_start(1_800.0);
+    let mut simulator = Simulator::new(
+        workload,
+        sim_config,
+        vec![("mp".to_string(), NodeConfig::paper_defaults())],
+    );
+    if lossy_churn {
+        let crashed: Vec<usize> = (0..nodes / 4).collect();
+        simulator = simulator.with_scenario(Scenario::crash_restart(crashed, 1_200.0, 1_500.0));
+    }
+    let report = simulator.run();
+    std::hint::black_box(report);
+    start.elapsed()
+}
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn measure(name: &'static str, nodes: u64, iterations: usize, lossy_churn: bool) -> BenchResult {
+    let mut samples = Vec::with_capacity(iterations);
+    for iteration in 0..iterations {
+        let elapsed = run_sim(nodes as usize, lossy_churn);
+        eprintln!("  {name} iteration {}: {elapsed:?}", iteration + 1);
+        samples.push(elapsed.as_nanos() as f64);
+    }
+    let median = median_ns(samples);
+    BenchResult {
+        name,
+        nodes,
+        median_ns: median,
+        events_per_sec: approx_events(nodes) / (median / 1e9),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let iterations = if quick { 1 } else { 3 };
+
+    eprintln!(
+        "bench_report: measuring macro benches ({} iterations each) ...",
+        iterations
+    );
+    let mut results = vec![
+        measure("event_sim/one_hour_256_nodes", 256, iterations, false),
+        measure(
+            "event_sim/one_hour_256_nodes_lossy_churn",
+            256,
+            iterations,
+            true,
+        ),
+    ];
+    if !quick {
+        results.push(measure("event_sim/one_hour_4096_nodes", 4096, 1, false));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n");
+    json.push_str(
+        "  \"description\": \"Macro simulator benchmarks (median wall-clock ns); regenerate with `cargo run -p nc-bench --release --bin bench_report`\",\n",
+    );
+    json.push_str("  \"benches\": {\n");
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"median_ns\": {:.0}, \"nodes\": {}, \"events_per_sec\": {:.0} }}{}\n",
+            result.name,
+            result.median_ns,
+            result.nodes,
+            result.events_per_sec,
+            if index + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"baseline_pre_pr3\": {\n");
+    for (index, (name, nodes, ns)) in PRE_PR3_BASELINE.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"median_ns\": {ns:.0}, \"nodes\": {nodes}, \"events_per_sec\": {:.0} }}{}\n",
+            approx_events(*nodes) / (ns / 1e9),
+            if index + 1 < PRE_PR3_BASELINE.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    // The workspace root is two levels above this crate's manifest.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf();
+    let path = root.join("BENCH_sim.json");
+    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

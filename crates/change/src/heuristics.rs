@@ -16,7 +16,7 @@
 //! robust: they increase stability substantially before accuracy starts to
 //! decline, while the window-less ones can only trade one for the other.
 
-use nc_stats::energy_distance_by;
+use nc_stats::{energy_distance_by, energy_distance_with_cached_within, within_sum_by};
 use nc_vivaldi::Coordinate;
 use serde::{Deserialize, Serialize};
 
@@ -442,6 +442,16 @@ impl UpdateHeuristic for RelativeHeuristic {
 pub struct EnergyHeuristic {
     threshold: f64,
     windows: TwoWindowDetector,
+    /// Reusable buffer for the current window's contiguous copy, so the
+    /// per-update energy statistic runs without heap allocations once the
+    /// buffer has grown to the window size.
+    scratch: Vec<Coordinate>,
+    /// Cached `Σ_{i≠j} d(s_i, s_j)` over the **frozen** start window. The
+    /// start window only changes while filling and at a change point, so
+    /// between change points this O(k²) term is computed once instead of on
+    /// every observation — bit-identical to the full recomputation (same
+    /// loop, see [`within_sum_by`]).
+    start_within: Option<f64>,
 }
 
 impl EnergyHeuristic {
@@ -460,6 +470,8 @@ impl EnergyHeuristic {
         EnergyHeuristic {
             threshold,
             windows: TwoWindowDetector::new(window_size).expect("window size must be >= 2"),
+            scratch: Vec::with_capacity(window_size),
+            start_within: None,
         }
     }
 
@@ -485,9 +497,26 @@ impl EnergyHeuristic {
         if !self.windows.is_ready() {
             return None;
         }
-        let start = self.windows.start_window().to_vec();
+        let start = self.windows.start_window();
         let current = self.windows.current_window();
-        energy_distance_by(&start, &current, |a, b| a.distance(b)).ok()
+        energy_distance_by(start, &current, |a, b| a.distance(b)).ok()
+    }
+
+    /// The per-update form of
+    /// [`current_statistic`](EnergyHeuristic::current_statistic): identical
+    /// result, but the current window is staged through the reusable scratch
+    /// buffer instead of a fresh `Vec` per update.
+    fn current_statistic_hot(&mut self) -> Option<f64> {
+        if !self.windows.is_ready() {
+            return None;
+        }
+        self.windows.current_window_into(&mut self.scratch);
+        let start = self.windows.start_window();
+        let within_start = *self
+            .start_within
+            .get_or_insert_with(|| within_sum_by(start, |a, b| a.distance(b)));
+        energy_distance_with_cached_within(start, &self.scratch, within_start, |a, b| a.distance(b))
+            .ok()
     }
 }
 
@@ -506,10 +535,13 @@ impl UpdateHeuristic for EnergyHeuristic {
         if !self.windows.is_ready() {
             return UpdateDecision::Keep;
         }
-        let statistic = self.current_statistic().expect("windows are ready");
+        let statistic = self.current_statistic_hot().expect("windows are ready");
         if statistic > self.threshold {
             let target = self.windows.current_centroid().expect("windows are ready");
             self.windows.declare_change_point();
+            // A change point starts a fresh start window; the cached
+            // within-sum belongs to the old one.
+            self.start_within = None;
             UpdateDecision::Publish(target)
         } else {
             UpdateDecision::Keep
@@ -524,6 +556,7 @@ impl UpdateHeuristic for EnergyHeuristic {
         match state {
             HeuristicState::Windowed(detector) => {
                 self.windows.import_state(detector);
+                self.start_within = None;
                 Ok(())
             }
             other => Err(HeuristicStateMismatch {
@@ -606,8 +639,8 @@ impl UpdateHeuristic for CentroidHeuristic {
         }
         self.window.push_back(system.clone());
         if application.distance(system) > self.threshold_ms {
-            let coords: Vec<Coordinate> = self.window.iter().cloned().collect();
-            let centroid = Coordinate::centroid(&coords).expect("window is non-empty");
+            let centroid =
+                Coordinate::centroid_iter(self.window.iter()).expect("window is non-empty");
             UpdateDecision::Publish(centroid)
         } else {
             UpdateDecision::Keep

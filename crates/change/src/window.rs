@@ -134,15 +134,25 @@ impl TwoWindowDetector {
         self.current.iter().cloned().collect()
     }
 
+    /// Copies the sliding current window into `buf` (cleared first), oldest
+    /// first. The hot-path form of
+    /// [`current_window`](TwoWindowDetector::current_window): a caller that
+    /// reuses one buffer per detector pays no allocation once the buffer has
+    /// grown to the window size.
+    pub fn current_window_into(&self, buf: &mut Vec<Coordinate>) {
+        buf.clear();
+        buf.extend(self.current.iter().cloned());
+    }
+
     /// Centroid of the start window, or `None` before any push.
     pub fn start_centroid(&self) -> Option<Coordinate> {
         Coordinate::centroid(&self.start)
     }
 
-    /// Centroid of the current window, or `None` before any push.
+    /// Centroid of the current window, or `None` before any push. Computed
+    /// straight off the ring buffer, without materialising it.
     pub fn current_centroid(&self) -> Option<Coordinate> {
-        let current: Vec<Coordinate> = self.current.iter().cloned().collect();
-        Coordinate::centroid(&current)
+        Coordinate::centroid_iter(self.current.iter())
     }
 
     /// Declares a change point: both windows are cleared and refilling starts

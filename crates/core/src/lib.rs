@@ -97,9 +97,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod config;
+pub mod fxhash;
 pub mod node;
 
 pub use config::{FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder};
+pub use fxhash::FxHashMap;
 pub use node::{NeighborSnapshot, ObservationOutcome, RestoreError, StableNode};
 
 // Re-export the building blocks so downstream users need only one dependency.

@@ -3,10 +3,11 @@
 //! [`ProbeRequest`] / [`ProbeResponse`] wire messages and observed through a
 //! typed [`Event`] stream.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
 use nc_change::{ApplicationCoordinate, ApplicationUpdate, HeuristicStateMismatch, UpdateContext};
+
+use crate::fxhash::FxHashMap;
 use nc_filters::{LatencyFilter, StateMismatch};
 use nc_proto::{
     Event, GossipEntry, LinkSnapshot, NodeSnapshot, PendingProbe, ProbeRequest, ProbeResponse,
@@ -126,8 +127,8 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     vivaldi: VivaldiState,
     application: ApplicationCoordinate,
     follow_system: bool,
-    filters: HashMap<Id, Box<dyn LatencyFilter + Send>>,
-    neighbors: HashMap<Id, NeighborSnapshot>,
+    filters: FxHashMap<Id, Box<dyn LatencyFilter + Send>>,
+    neighbors: FxHashMap<Id, NeighborSnapshot>,
     nearest_neighbor: Option<(Id, f64)>,
     observations: u64,
     /// This node's own identity, when declared. Keeps the node from
@@ -142,7 +143,7 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     pending: Vec<PendingProbe<Id>>,
     /// Consecutive unanswered probes per peer; drives eviction when
     /// [`NodeConfig::max_consecutive_losses`] is set.
-    loss_streaks: HashMap<Id, u32>,
+    loss_streaks: FxHashMap<Id, u32>,
 }
 
 impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id> {
@@ -181,8 +182,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             vivaldi,
             application,
             follow_system,
-            filters: HashMap::new(),
-            neighbors: HashMap::new(),
+            filters: FxHashMap::default(),
+            neighbors: FxHashMap::default(),
             nearest_neighbor: None,
             observations: 0,
             identity: None,
@@ -191,7 +192,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             probe_seq: 0,
             gossip_cursor: 0,
             pending: Vec::new(),
-            loss_streaks: HashMap::new(),
+            loss_streaks: FxHashMap::default(),
         }
     }
 
@@ -380,14 +381,25 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// response already arrived, or it was already expired) — drivers may
     /// fire timers unconditionally and let the engine sort it out.
     pub fn handle_timeout(&mut self, seq: u64) -> Vec<Event<Id>> {
+        let mut events = Vec::new();
+        self.handle_timeout_into(seq, &mut events);
+        events
+    }
+
+    /// Buffer-reusing form of [`handle_timeout`](StableNode::handle_timeout):
+    /// appends the resulting events to `events` instead of allocating a
+    /// fresh vector. Hot-loop drivers (the discrete-event simulator) clear
+    /// and reuse one buffer across calls so the steady-state timeout path
+    /// performs no heap allocation.
+    pub fn handle_timeout_into(&mut self, seq: u64, events: &mut Vec<Event<Id>>) {
         let Some(position) = self.pending.iter().position(|probe| probe.seq == seq) else {
-            return Vec::new();
+            return;
         };
         let probe = self.pending.remove(position);
-        let mut events = vec![Event::ProbeLost {
+        events.push(Event::ProbeLost {
             id: probe.target.clone(),
             seq,
-        }];
+        });
         let streak = self.loss_streaks.entry(probe.target.clone()).or_insert(0);
         *streak = streak.saturating_add(1);
         let streak = *streak;
@@ -397,7 +409,6 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 events.push(Event::NeighborEvicted { id: probe.target });
             }
         }
-        events
     }
 
     /// Expires every pending probe sent at or before `now_ms - timeout_ms`,
@@ -413,7 +424,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             .collect();
         let mut events = Vec::new();
         for seq in expired {
-            events.extend(self.handle_timeout(seq));
+            self.handle_timeout_into(seq, &mut events);
         }
         events
     }
@@ -444,17 +455,35 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// transport stamps the measured round trip in before handing the
     /// response to [`handle_response`](StableNode::handle_response).
     pub fn respond(&mut self, request: &ProbeRequest<Id>) -> ProbeResponse<Id> {
-        // A probe that names its sender teaches the responder a live peer —
-        // the paper's deployments bootstrap membership exactly this way.
-        if let Some(source) = &request.source {
-            self.register_member(source.clone());
-        }
         let mut response = ProbeResponse::new(
             request.target.clone(),
             request,
             self.vivaldi.coordinate().clone(),
             self.vivaldi.error_estimate(),
         );
+        self.respond_into(request, &mut response);
+        response
+    }
+
+    /// Buffer-reusing form of [`respond`](StableNode::respond): overwrites
+    /// every field of `response` (including clearing and refilling the
+    /// gossip payload) instead of building a fresh message. Hot-loop drivers
+    /// keep one response per slot and reuse it across exchanges, so the
+    /// steady-state respond path performs no heap allocation.
+    pub fn respond_into(&mut self, request: &ProbeRequest<Id>, response: &mut ProbeResponse<Id>) {
+        // A probe that names its sender teaches the responder a live peer —
+        // the paper's deployments bootstrap membership exactly this way.
+        if let Some(source) = &request.source {
+            self.register_member(source.clone());
+        }
+        response.version = PROTOCOL_VERSION;
+        response.responder = request.target.clone();
+        response.seq = request.seq;
+        response.sent_at_ms = request.sent_at_ms;
+        response.coordinate = self.vivaldi.coordinate().clone();
+        response.error_estimate = self.vivaldi.error_estimate();
+        response.gossip.clear();
+        response.rtt_ms = 0.0;
         let len = self.membership.len();
         for _ in 0..len {
             let idx = self.gossip_cursor % len;
@@ -465,7 +494,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 continue;
             }
             if let Some(snapshot) = self.neighbors.get(&candidate) {
-                response = response.with_gossip(GossipEntry {
+                response.gossip.push(GossipEntry {
                     id: candidate,
                     coordinate: snapshot.coordinate.clone(),
                     error_estimate: snapshot.error_estimate,
@@ -473,7 +502,6 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 break;
             }
         }
-        response
     }
 
     /// Digests one probe response: registers the responder and any gossiped
@@ -490,8 +518,23 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// against, or gossiped onward, without corrupting peers).
     pub fn handle_response(&mut self, response: &ProbeResponse<Id>) -> Vec<Event<Id>> {
         let mut events = Vec::new();
+        self.handle_response_into(response, &mut events);
+        events
+    }
+
+    /// Buffer-reusing form of
+    /// [`handle_response`](StableNode::handle_response): appends the
+    /// resulting events to `events` instead of allocating a fresh vector
+    /// per response. Hot-loop drivers clear and reuse one buffer across
+    /// calls so the steady-state observation path performs no heap
+    /// allocation.
+    pub fn handle_response_into(
+        &mut self,
+        response: &ProbeResponse<Id>,
+        events: &mut Vec<Event<Id>>,
+    ) {
         if self.identity.as_ref() == Some(&response.responder) {
-            return events;
+            return;
         }
         // The reply settles the matching outstanding probe (if the driver is
         // using the pending-probe machinery) and proves the peer alive.
@@ -568,7 +611,6 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 }
             },
         }
-        events
     }
 
     /// Batch path: digests many responses in order and returns the
@@ -581,7 +623,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     {
         let mut events = Vec::new();
         for response in responses {
-            events.extend(self.handle_response(response));
+            self.handle_response_into(response, &mut events);
         }
         events
     }

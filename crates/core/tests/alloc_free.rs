@@ -1,0 +1,156 @@
+//! Counting-allocator proof of the allocation-free observation path.
+//!
+//! The acceptance criterion for the hot-path work is *zero heap allocations
+//! per steady-state observation*: once a link's filter exists, its window is
+//! full, the peer is registered and the reusable buffers have grown to their
+//! working size, digesting one more observation must not touch the
+//! allocator. A counting `GlobalAlloc` wrapper makes that an assertion
+//! instead of a benchmark eyeball: the counter is thread-local, so the other
+//! tests in this binary (and the harness itself) cannot pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use stable_nc::{Event, NodeConfig, ProbeResponse, StableNode};
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// thread-local counter bump, which itself never allocates (const-initialised
+// TLS slot).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|count| count.set(count.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|count| count.set(count.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `body` and returns how many heap allocations it performed on this
+/// thread.
+fn allocations_during<R>(body: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.with(Cell::get);
+    let result = body();
+    let after = ALLOCATIONS.with(Cell::get);
+    (after - before, result)
+}
+
+#[test]
+fn steady_state_observe_performs_zero_allocations() {
+    let mut node: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
+    let remote = nc_vivaldi::Coordinate::new(vec![30.0, 40.0, 10.0]).unwrap();
+
+    // Warm up: register the peer, fill the filter window, fill both ENERGY
+    // windows (32 each) and let every table and scratch buffer reach its
+    // working size.
+    for step in 0..512u64 {
+        node.observe(7, remote.clone(), 0.4, 60.0 + (step % 9) as f64);
+    }
+
+    let (allocations, _) = allocations_during(|| {
+        for step in 0..1_000u64 {
+            let outcome = node.observe(7, remote.clone(), 0.4, 60.0 + (step % 9) as f64);
+            std::hint::black_box(&outcome);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "steady-state StableNode::observe must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_vivaldi_update_performs_zero_allocations() {
+    let mut state = nc_vivaldi::VivaldiState::new(nc_vivaldi::VivaldiConfig::paper_defaults());
+    let remote = nc_vivaldi::Coordinate::new(vec![12.0, -9.0, 4.0]).unwrap();
+    for _ in 0..64 {
+        state.observe(&nc_vivaldi::RemoteObservation::new(
+            remote.clone(),
+            0.4,
+            55.0,
+        ));
+    }
+    let (allocations, _) = allocations_during(|| {
+        for step in 0..1_000u64 {
+            let observation =
+                nc_vivaldi::RemoteObservation::new(remote.clone(), 0.4, 55.0 + (step % 13) as f64);
+            std::hint::black_box(state.observe(&observation));
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "the Vivaldi spring update must run entirely on the stack"
+    );
+}
+
+#[test]
+fn steady_state_filter_observe_performs_zero_allocations() {
+    use nc_filters::LatencyFilter;
+    let mut filter = nc_filters::MovingPercentileFilter::new(128, 25.0).unwrap();
+    for step in 0..256u64 {
+        filter.observe(80.0 + (step % 17) as f64);
+    }
+    let (allocations, _) = allocations_during(|| {
+        for step in 0..1_000u64 {
+            std::hint::black_box(filter.observe(80.0 + (step % 17) as f64));
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "a full moving-percentile window must update without allocating"
+    );
+}
+
+#[test]
+fn steady_state_wire_exchange_performs_zero_allocations() {
+    // The driver-facing form the simulator uses: probe → respond_into →
+    // handle_response_into with reused buffers end to end.
+    let mut prober: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
+    let mut responder: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
+    let mut events: Vec<Event<usize>> = Vec::new();
+
+    // Prime one exchange to build the reusable response message.
+    let request = prober.probe_request_for(1, 0);
+    let mut response: ProbeResponse<usize> = responder.respond(&request);
+    response.rtt_ms = 60.0;
+    prober.handle_response_into(&response, &mut events);
+
+    // Warm the rest of the stacks (filter windows, heuristic windows).
+    for step in 1..512u64 {
+        let request = prober.probe_request_for(1, step);
+        responder.respond_into(&request, &mut response);
+        response.rtt_ms = 60.0 + (step % 9) as f64;
+        events.clear();
+        prober.handle_response_into(&response, &mut events);
+    }
+
+    let (allocations, _) = allocations_during(|| {
+        for step in 512..1_512u64 {
+            let request = prober.probe_request_for(1, step);
+            responder.respond_into(&request, &mut response);
+            response.rtt_ms = 60.0 + (step % 9) as f64;
+            events.clear();
+            prober.handle_response_into(&response, &mut events);
+            std::hint::black_box(&events);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "a steady-state wire exchange with reused buffers must not allocate"
+    );
+}

@@ -1,6 +1,11 @@
-//! Runs every figure and table experiment in sequence and prints each
-//! rendered result, separated by headers. This regenerates the complete
-//! evaluation of the paper in one command.
+//! Runs every figure and table experiment and prints each rendered result,
+//! separated by headers. This regenerates the complete evaluation of the
+//! paper in one command.
+//!
+//! The experiments are mutually independent (each builds its own simulator
+//! from its own seeds), so they execute **in parallel** on scoped threads;
+//! the rendered outputs are buffered and printed in figure order, so the
+//! report reads identically to a sequential run.
 //!
 //! Usage: `cargo run --release --bin run_all [quick|standard|paper]`
 
@@ -37,142 +42,183 @@ fn main() {
         eprintln!("invalid simulation schedule for scale '{scale}': {error}");
         std::process::exit(2);
     }
-    eprintln!("running the full evaluation at scale '{scale}' ...");
+    eprintln!("running the full evaluation at scale '{scale}' in parallel ...");
     let quick = scale == Scale::Quick;
 
-    banner("Figure 2");
-    println!(
-        "{}",
-        fig02::run(if quick {
-            fig02::Fig02Config::quick()
-        } else {
-            fig02::Fig02Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 3");
-    println!(
-        "{}",
-        fig03::run(if quick {
-            fig03::Fig03Config::quick()
-        } else {
-            fig03::Fig03Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 4");
-    println!(
-        "{}",
-        fig04::run(if quick {
-            fig04::Fig04Config::quick()
-        } else {
-            fig04::Fig04Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 5");
-    println!(
-        "{}",
-        fig05::run(if quick {
-            fig05::Fig05Config::quick()
-        } else {
-            fig05::Fig05Config::standard()
-        })
-        .render()
-    );
-    banner("Table I");
-    println!(
-        "{}",
-        table1::run(if quick {
-            table1::Table1Config::quick()
-        } else {
-            table1::Table1Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 6");
-    println!(
-        "{}",
-        fig06::run(fig06::Fig06Config::for_scale(scale)).render()
-    );
-    banner("Figure 7");
-    println!(
-        "{}",
-        fig07::run(if quick {
-            fig07::Fig07Config::quick()
-        } else {
-            fig07::Fig07Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 8");
-    println!(
-        "{}",
-        fig08::run(if quick {
-            fig08::Fig08Config::quick()
-        } else {
-            fig08::Fig08Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 9");
-    println!(
-        "{}",
-        fig09::run(if quick {
-            fig09::Fig09Config::quick()
-        } else {
-            fig09::Fig09Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 10");
-    println!(
-        "{}",
-        fig10::run(if quick {
-            fig10::Fig10Config::quick()
-        } else {
-            fig10::Fig10Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 11");
-    println!(
-        "{}",
-        fig11::run(if quick {
-            fig11::Fig11Config::quick()
-        } else {
-            fig11::Fig11Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 12");
-    println!(
-        "{}",
-        fig12::run(if quick {
-            fig12::Fig12Config::quick()
-        } else {
-            fig12::Fig12Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 13");
-    println!(
-        "{}",
-        fig13::run(if quick {
-            fig13::Fig13Config::quick()
-        } else {
-            fig13::Fig13Config::standard()
-        })
-        .render()
-    );
-    banner("Figure 14");
-    println!(
-        "{}",
-        fig14::run(if quick {
-            fig14::Fig14Config::quick()
-        } else {
-            fig14::Fig14Config::standard()
-        })
-        .render()
-    );
+    // One closure per experiment, in report order. Each renders to a String
+    // on its own thread; nothing is printed until every title can appear in
+    // order.
+    type Job<'a> = (&'a str, Box<dyn FnOnce() -> String + Send + 'a>);
+    let jobs: Vec<Job> = vec![
+        (
+            "Figure 2",
+            Box::new(move || {
+                fig02::run(if quick {
+                    fig02::Fig02Config::quick()
+                } else {
+                    fig02::Fig02Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 3",
+            Box::new(move || {
+                fig03::run(if quick {
+                    fig03::Fig03Config::quick()
+                } else {
+                    fig03::Fig03Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 4",
+            Box::new(move || {
+                fig04::run(if quick {
+                    fig04::Fig04Config::quick()
+                } else {
+                    fig04::Fig04Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 5",
+            Box::new(move || {
+                fig05::run(if quick {
+                    fig05::Fig05Config::quick()
+                } else {
+                    fig05::Fig05Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Table I",
+            Box::new(move || {
+                table1::run(if quick {
+                    table1::Table1Config::quick()
+                } else {
+                    table1::Table1Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 6",
+            Box::new(move || fig06::run(fig06::Fig06Config::for_scale(scale)).render()),
+        ),
+        (
+            "Figure 7",
+            Box::new(move || {
+                fig07::run(if quick {
+                    fig07::Fig07Config::quick()
+                } else {
+                    fig07::Fig07Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 8",
+            Box::new(move || {
+                fig08::run(if quick {
+                    fig08::Fig08Config::quick()
+                } else {
+                    fig08::Fig08Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 9",
+            Box::new(move || {
+                fig09::run(if quick {
+                    fig09::Fig09Config::quick()
+                } else {
+                    fig09::Fig09Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 10",
+            Box::new(move || {
+                fig10::run(if quick {
+                    fig10::Fig10Config::quick()
+                } else {
+                    fig10::Fig10Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 11",
+            Box::new(move || {
+                fig11::run(if quick {
+                    fig11::Fig11Config::quick()
+                } else {
+                    fig11::Fig11Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 12",
+            Box::new(move || {
+                fig12::run(if quick {
+                    fig12::Fig12Config::quick()
+                } else {
+                    fig12::Fig12Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 13",
+            Box::new(move || {
+                fig13::run(if quick {
+                    fig13::Fig13Config::quick()
+                } else {
+                    fig13::Fig13Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 14",
+            Box::new(move || {
+                fig14::run(if quick {
+                    fig14::Fig14Config::quick()
+                } else {
+                    fig14::Fig14Config::standard()
+                })
+                .render()
+            }),
+        ),
+    ];
+
+    let rendered: Vec<(&str, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(title, job)| (title, scope.spawn(job)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(title, handle)| {
+                (
+                    title,
+                    handle
+                        .join()
+                        .unwrap_or_else(|_| panic!("experiment '{title}' panicked")),
+                )
+            })
+            .collect()
+    });
+
+    for (title, output) in rendered {
+        banner(title);
+        println!("{output}");
+    }
 }

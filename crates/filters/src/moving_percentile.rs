@@ -47,6 +47,14 @@ pub struct MovingPercentileFilter {
     history_size: usize,
     percentile: f64,
     window: VecDeque<f64>,
+    /// The window's values kept incrementally sorted: each observation does
+    /// one binary-search removal of the expiring sample and one
+    /// binary-search insertion of the new one instead of cloning and
+    /// re-sorting the whole window. Identical multiset to `window`, so the
+    /// percentile is bit-identical to the clone-and-sort approach; both
+    /// buffers are pre-allocated to `history_size`, so the steady-state
+    /// observation path performs zero heap allocations.
+    sorted: Vec<f64>,
     seen: u64,
 }
 
@@ -68,6 +76,7 @@ impl MovingPercentileFilter {
             history_size,
             percentile,
             window: VecDeque::with_capacity(history_size),
+            sorted: Vec::with_capacity(history_size),
             seen: 0,
         })
     }
@@ -94,12 +103,42 @@ impl MovingPercentileFilter {
     }
 
     fn estimate_from_window(&self) -> Option<f64> {
-        if self.window.is_empty() {
+        if self.sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = self.window.iter().cloned().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("only finite values are stored"));
-        percentile_of_sorted(&sorted, self.percentile).ok()
+        percentile_of_sorted(&self.sorted, self.percentile).ok()
+    }
+
+    /// Rebuilds the sorted companion buffer from the window (used after
+    /// state imports; the per-observation path maintains it incrementally).
+    fn resort(&mut self) {
+        self.sorted.clear();
+        self.sorted.extend(self.window.iter());
+        // total_cmp, like insertion and removal below: for the positive
+        // finite values `observe` admits it orders identically to
+        // partial_cmp, and it keeps the buffer totally ordered even if an
+        // imported snapshot carries values (e.g. -0.0) `observe` would have
+        // rejected — removal must always find its element.
+        self.sorted.sort_by(|a, b| a.total_cmp(b));
+    }
+
+    /// Removes one element equal to `value` from the sorted buffer.
+    fn remove_sorted(&mut self, value: f64) {
+        let index = self
+            .sorted
+            .binary_search_by(|probe| probe.total_cmp(&value))
+            .expect("expiring value is present in the sorted window");
+        self.sorted.remove(index);
+    }
+
+    /// Inserts `value` into the sorted buffer, keeping it totally ordered
+    /// under `total_cmp` (consistent with removal and
+    /// [`resort`](MovingPercentileFilter::resort)).
+    fn insert_sorted(&mut self, value: f64) {
+        let index = self
+            .sorted
+            .partition_point(|probe| probe.total_cmp(&value) == std::cmp::Ordering::Less);
+        self.sorted.insert(index, value);
     }
 }
 
@@ -109,9 +148,14 @@ impl LatencyFilter for MovingPercentileFilter {
             return None;
         }
         if self.window.len() == self.history_size {
-            self.window.pop_front();
+            let expiring = self
+                .window
+                .pop_front()
+                .expect("full window holds at least one sample");
+            self.remove_sorted(expiring);
         }
         self.window.push_back(raw_rtt_ms);
+        self.insert_sorted(raw_rtt_ms);
         self.seen += 1;
         self.estimate_from_window()
     }
@@ -126,6 +170,7 @@ impl LatencyFilter for MovingPercentileFilter {
 
     fn reset(&mut self) {
         self.window.clear();
+        self.sorted.clear();
         self.seen = 0;
     }
 
@@ -142,7 +187,9 @@ impl LatencyFilter for MovingPercentileFilter {
                 // Keep only the newest `history_size` entries so a state
                 // exported under a larger history still restores sanely.
                 let start = window.len().saturating_sub(self.history_size);
-                self.window = window[start..].iter().copied().collect();
+                self.window.clear();
+                self.window.extend(window[start..].iter().copied());
+                self.resort();
                 self.seen = *seen;
                 Ok(())
             }
@@ -307,6 +354,24 @@ mod tests {
         assert_eq!(f.observations_seen(), 0);
         assert_eq!(f.current_estimate(), None);
         assert_eq!(f.window_len(), 0);
+    }
+
+    #[test]
+    fn imported_window_with_mixed_zeros_survives_expiry() {
+        // A snapshot off the wire may carry values `observe` itself would
+        // have rejected, such as -0.0. The sorted companion buffer must stay
+        // totally ordered so the expiring sample is always found (this
+        // panicked when insertion used partial_cmp but removal total_cmp).
+        let mut f = MovingPercentileFilter::new(3, 50.0).unwrap();
+        f.import_state(&FilterState::MovingPercentile {
+            window: vec![0.0, 0.0, -0.0],
+            seen: 3,
+        })
+        .unwrap();
+        // Two valid observations expire the zeros without panicking.
+        assert!(f.observe(5.0).is_some());
+        assert!(f.observe(6.0).is_some());
+        assert_eq!(f.window_len(), 3);
     }
 
     #[test]

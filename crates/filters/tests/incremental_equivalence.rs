@@ -1,0 +1,137 @@
+//! Equivalence suite for the incrementally-sorted moving-percentile window:
+//! the binary-search insert/remove maintenance must produce **bit-identical**
+//! estimates to the original clone-and-sort implementation, reproduced here
+//! as a reference filter with the exact arithmetic of the pre-incremental
+//! code.
+
+use std::collections::VecDeque;
+
+use nc_filters::{LatencyFilter, MovingPercentileFilter};
+use proptest::prelude::*;
+
+/// The original implementation: keep the raw window, clone and re-sort it on
+/// every query.
+struct CloneAndSortReference {
+    history_size: usize,
+    percentile: f64,
+    window: VecDeque<f64>,
+}
+
+impl CloneAndSortReference {
+    fn new(history_size: usize, percentile: f64) -> Self {
+        CloneAndSortReference {
+            history_size,
+            percentile,
+            window: VecDeque::new(),
+        }
+    }
+
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64> {
+        if !raw_rtt_ms.is_finite() || raw_rtt_ms <= 0.0 {
+            return None;
+        }
+        if self.window.len() == self.history_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(raw_rtt_ms);
+        self.estimate()
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().cloned().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("only finite values"));
+        nc_stats::percentile_of_sorted(&sorted, self.percentile).ok()
+    }
+}
+
+fn bits(value: Option<f64>) -> Option<u64> {
+    value.map(f64::to_bits)
+}
+
+proptest! {
+    #[test]
+    fn incremental_window_matches_clone_and_sort(
+        values in proptest::collection::vec(0.01f64..1e6, 0..400),
+        history in 1usize..40,
+        percentile in 0.0f64..=100.0,
+    ) {
+        let mut incremental = MovingPercentileFilter::new(history, percentile).unwrap();
+        let mut reference = CloneAndSortReference::new(history, percentile);
+        for &value in &values {
+            prop_assert_eq!(
+                bits(incremental.observe(value)),
+                bits(reference.observe(value)),
+                "estimates diverged at value {}", value
+            );
+            prop_assert_eq!(
+                bits(incremental.current_estimate()),
+                bits(reference.estimate())
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_streams_stay_identical(
+        // Tiny value alphabet: hammers the equal-element removal path where
+        // binary search may land on any of several equal samples.
+        values in proptest::collection::vec(1usize..6, 0..300),
+        history in 1usize..10,
+    ) {
+        let mut incremental = MovingPercentileFilter::new(history, 25.0).unwrap();
+        let mut reference = CloneAndSortReference::new(history, 25.0);
+        for &index in &values {
+            let value = index as f64 * 10.0;
+            prop_assert_eq!(
+                bits(incremental.observe(value)),
+                bits(reference.observe(value))
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_samples_are_ignored_identically(
+        selectors in proptest::collection::vec(0usize..5, 0..200),
+        raws in proptest::collection::vec(0.01f64..1e4, 200..201),
+    ) {
+        let mut incremental = MovingPercentileFilter::new(4, 25.0).unwrap();
+        let mut reference = CloneAndSortReference::new(4, 25.0);
+        for (index, &selector) in selectors.iter().enumerate() {
+            let value = match selector {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -3.0,
+                3 => 0.0,
+                _ => raws[index % raws.len()],
+            };
+            prop_assert_eq!(
+                bits(incremental.observe(value)),
+                bits(reference.observe(value))
+            );
+        }
+    }
+
+    #[test]
+    fn state_import_rebuilds_the_sorted_companion(
+        before in proptest::collection::vec(0.01f64..1e4, 1..50),
+        after in proptest::collection::vec(0.01f64..1e4, 1..50),
+        history in 1usize..12,
+    ) {
+        let mut original = MovingPercentileFilter::new(history, 25.0).unwrap();
+        let mut reference = CloneAndSortReference::new(history, 25.0);
+        for &value in &before {
+            original.observe(value);
+            reference.observe(value);
+        }
+        let mut restored = MovingPercentileFilter::new(history, 25.0).unwrap();
+        restored.import_state(&original.export_state()).unwrap();
+        for &value in &after {
+            prop_assert_eq!(
+                bits(restored.observe(value)),
+                bits(reference.observe(value))
+            );
+        }
+    }
+}

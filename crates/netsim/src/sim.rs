@@ -55,7 +55,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use stable_nc::{NodeConfig, StableNode};
 
-use crate::linkmodel::LinkModel;
+use crate::linkmodel::{LinkModel, LinkModelConfig};
 use crate::metrics::{ConfigMetrics, NodeMetrics, SimReport, TrackedCoordinate};
 use crate::planetlab::PlanetLabConfig;
 use crate::scenario::{Scenario, ScenarioAction};
@@ -362,30 +362,32 @@ impl<T> EventQueue<T> {
 // Simulator
 // ---------------------------------------------------------------------------
 
-/// What the simulator does when the clock reaches an event. Exchanges carry
-/// per-configuration wire messages so every named configuration digests the
-/// identical observation at the identical instant.
+/// What the simulator does when the clock reaches an event.
+///
+/// Per-probe wire payloads live in an index-addressed slab of reusable
+/// buffers ([`ExchangeSlot`]); events carry only the slab index plus plain
+/// scalars, so scheduling and delivering a probe moves a few machine words
+/// through the queue instead of cloning coordinates and messages per event.
+#[derive(Debug, Clone, Copy)]
 enum SimEvent {
     /// A node's probe tick: pick the next round-robin target and launch the
     /// exchange. Reschedules itself every probe interval while the node is
     /// up.
     ProbeSend { src: usize },
     /// A probe reaches its target, which answers it (the reply may then be
-    /// lost on the way back).
+    /// lost on the way back). The per-configuration requests live in the
+    /// exchange slot.
     ProbeDeliver {
         src: usize,
         dst: usize,
+        slot: usize,
         rtt_ms: f64,
         reverse_delay_s: f64,
         reverse_lost: bool,
-        requests: Vec<ProbeRequest<usize>>,
     },
-    /// A reply reaches the prober, which digests the observation.
-    ResponseDeliver {
-        src: usize,
-        dst: usize,
-        responses: Vec<ProbeResponse<usize>>,
-    },
+    /// A reply reaches the prober, which digests the observation held in the
+    /// exchange slot.
+    ResponseDeliver { src: usize, dst: usize, slot: usize },
     /// The prober's timer for one probe fires; a no-op when the reply
     /// arrived first.
     ProbeTimeout { src: usize, seq: u64 },
@@ -397,6 +399,7 @@ enum SimEvent {
 
 /// One in-run network partition: packets crossing the boundary between
 /// `members` and everyone else are dropped until `heal_at_s`.
+#[derive(Clone)]
 struct PartitionWindow {
     heal_at_s: f64,
     members: Vec<bool>,
@@ -411,31 +414,78 @@ struct ConfigRun {
     metrics: ConfigMetrics,
 }
 
-/// Runs one or more coordinate-stack configurations over a synthetic
-/// workload, optionally under a churn [`Scenario`]. See the
-/// [crate-level documentation](crate) for an example.
-pub struct Simulator {
+/// Reusable per-exchange wire buffers: one request and one response per
+/// named configuration. Slots are recycled through a free list and the
+/// vectors (including each response's gossip payload) keep their capacity
+/// across reuses, so the steady-state exchange path performs no heap
+/// allocation.
+#[derive(Default)]
+struct ExchangeSlot {
+    requests: Vec<ProbeRequest<usize>>,
+    responses: Vec<ProbeResponse<usize>>,
+}
+
+/// Everything that stays immutable while a simulation runs: the workload,
+/// the schedule, the ground-truth topology and the scripted scenario.
+/// Shared by reference with every worker thread of a parallel run.
+struct SimEnv {
     workload: PlanetLabConfig,
     sim_config: SimConfig,
     topology: Topology,
     /// Row-major ground-truth RTT matrix: the hot-path lookup behind every
     /// link-model construction.
     rtt_matrix: RttMatrix,
-    links: HashMap<(usize, usize), LinkModel>,
-    neighbor_sets: Vec<Vec<usize>>,
-    round_robin: Vec<usize>,
-    runs: Vec<ConfigRun>,
-    protocol_rng: StdRng,
     scenario: Scenario,
+}
+
+/// The mutable half of a simulation: protocol-level schedule state (who
+/// knows whom, liveness, RNG), the per-configuration node stacks, and the
+/// reusable exchange buffers. A multi-configuration run is parallelised by
+/// cloning the schedule state per configuration — every worker then replays
+/// the byte-identical schedule, because probe targets, link draws and gossip
+/// choices never depend on the coordinate stacks.
+struct EngineState {
+    links: HashMap<(usize, usize), LinkModel>,
+    /// The shared link-model tuning, hoisted out of the per-exchange path.
+    link_config: LinkModelConfig,
+    neighbor_sets: Vec<Vec<usize>>,
+    /// Per-node membership bitmaps mirroring `neighbor_sets`, so the
+    /// per-gossip "already known?" check is one bit test instead of a scan
+    /// of a growing vector.
+    neighbor_bits: Vec<Vec<u64>>,
+    round_robin: Vec<usize>,
+    protocol_rng: StdRng,
     /// Liveness per node; down nodes neither probe nor answer.
     alive: Vec<bool>,
     /// Whether a future `ProbeSend` for the node is already in the queue
     /// (guards against double-scheduling across crash/restart cycles).
     probe_cycle_active: Vec<bool>,
+    active_partitions: Vec<PartitionWindow>,
+    runs: Vec<ConfigRun>,
     /// Per-run, per-node snapshot taken at the instant of a crash, consumed
     /// by a later restart.
     crash_snapshots: Vec<Vec<Option<NodeSnapshot<usize>>>>,
-    active_partitions: Vec<PartitionWindow>,
+    slots: Vec<ExchangeSlot>,
+    free_slots: Vec<usize>,
+    /// Reusable engine-event buffer, cleared before every
+    /// `handle_response_into` / `handle_timeout_into` call.
+    events_scratch: Vec<Event<usize>>,
+}
+
+/// Runs one or more coordinate-stack configurations over a synthetic
+/// workload, optionally under a churn [`Scenario`]. See the
+/// [crate-level documentation](crate) for an example.
+///
+/// Multi-configuration runs execute the configurations **in parallel**, one
+/// OS thread per named configuration (`std::thread::scope`), whenever their
+/// eviction thresholds agree — the only knob through which a coordinate
+/// stack can influence the shared probe schedule. The resulting
+/// [`SimReport`] is byte-identical to a serial run (verified by the
+/// regression suite; see [`Simulator::with_serial_execution`]).
+pub struct Simulator {
+    env: SimEnv,
+    state: EngineState,
+    force_serial: bool,
 }
 
 impl Simulator {
@@ -511,21 +561,40 @@ impl Simulator {
             })
             .collect();
 
+        let words = n.div_ceil(64);
+        let mut neighbor_bits = vec![vec![0u64; words]; n];
+        for (node, set) in neighbor_sets.iter().enumerate() {
+            for &peer in set {
+                neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
+            }
+        }
+
+        let link_config = workload.link_config().clone();
         Simulator {
-            workload,
-            sim_config,
-            topology,
-            rtt_matrix,
-            links: HashMap::new(),
-            neighbor_sets,
-            round_robin: vec![0; n],
-            runs,
-            protocol_rng,
-            scenario: Scenario::new(),
-            alive: vec![true; n],
-            probe_cycle_active: vec![false; n],
-            crash_snapshots: vec![vec![None; n]; run_count],
-            active_partitions: Vec::new(),
+            env: SimEnv {
+                workload,
+                sim_config,
+                topology,
+                rtt_matrix,
+                scenario: Scenario::new(),
+            },
+            state: EngineState {
+                links: HashMap::new(),
+                link_config,
+                neighbor_sets,
+                neighbor_bits,
+                round_robin: vec![0; n],
+                protocol_rng,
+                alive: vec![true; n],
+                probe_cycle_active: vec![false; n],
+                active_partitions: Vec::new(),
+                runs,
+                crash_snapshots: vec![vec![None; n]; run_count],
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                events_scratch: Vec::new(),
+            },
+            force_serial: false,
         }
     }
 
@@ -539,38 +608,264 @@ impl Simulator {
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         if let Some(max) = scenario.max_node() {
             assert!(
-                max < self.topology.len(),
+                max < self.env.topology.len(),
                 "scenario references node {max}, workload has {} nodes",
-                self.topology.len()
+                self.env.topology.len()
             );
         }
-        self.scenario = scenario;
+        self.env.scenario = scenario;
+        self
+    }
+
+    /// Forces single-threaded execution even for multi-configuration runs.
+    ///
+    /// The parallel per-configuration path produces a byte-identical
+    /// [`SimReport`] (each configuration's schedule and observation stream
+    /// is independent, and the regression suite asserts equality); this
+    /// knob exists so tests and debugging sessions can compare the two
+    /// execution modes directly.
+    pub fn with_serial_execution(mut self, serial: bool) -> Self {
+        self.force_serial = serial;
         self
     }
 
     /// The generated topology (ground-truth base RTTs).
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.env.topology
+    }
+
+    /// Runs the simulation to completion and returns the collected metrics.
+    ///
+    /// A run with several named configurations whose eviction thresholds
+    /// agree executes one worker thread per configuration; otherwise (or
+    /// after [`Simulator::with_serial_execution`]) all configurations are
+    /// interleaved on the calling thread. Both paths produce the identical
+    /// report.
+    pub fn run(&mut self) -> SimReport {
+        // The only way a coordinate stack can influence the shared probe
+        // schedule is eviction. With matching thresholds every configuration
+        // evicts on the same timeout, so per-configuration workers replay
+        // the byte-identical schedule; with differing thresholds the serial
+        // path's unanimity rule is required.
+        let uniform_eviction = self.state.runs.windows(2).all(|pair| {
+            pair[0].config.max_consecutive_losses == pair[1].config.max_consecutive_losses
+        });
+        if self.state.runs.len() > 1 && uniform_eviction && !self.force_serial {
+            let env = &self.env;
+            let state = std::mem::replace(&mut self.state, EngineState::placeholder());
+            let workers = state.split_per_config();
+            let finished: Vec<EngineState> = std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .map(|mut worker| {
+                        scope.spawn(move || {
+                            worker.run_to_completion(env);
+                            worker
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("simulation worker panicked"))
+                    .collect()
+            });
+            self.state = EngineState::merge(finished);
+        } else {
+            self.state.run_to_completion(&self.env);
+        }
+
+        // Results merge in the stable configuration order (the report's
+        // serialization sorts by name), so parallel and serial runs encode
+        // identically.
+        let mut configs = HashMap::new();
+        for run in &self.state.runs {
+            configs.insert(run.name.clone(), run.metrics.clone());
+        }
+        SimReport::new(
+            configs,
+            self.env.sim_config.duration_s,
+            self.env.sim_config.measurement_start_s,
+        )
+    }
+}
+
+/// Folds one engine event stream into a node's metric accumulators.
+/// Losses are counted over the whole run (a dead link produces nothing
+/// to gate a measurement window on); everything else respects the
+/// warm-up exclusion.
+fn fold_events(metrics: &mut NodeMetrics, time_s: f64, measuring: bool, events: &[Event<usize>]) {
+    for event in events {
+        match event {
+            Event::SystemMoved {
+                displacement_ms,
+                relative_error,
+                application_relative_error,
+                ..
+            } if measuring => {
+                metrics.system_errors.push((time_s, *relative_error));
+                metrics
+                    .application_errors
+                    .push((time_s, *application_relative_error));
+                if *displacement_ms > 0.0 {
+                    metrics
+                        .system_displacements
+                        .push((time_s, *displacement_ms));
+                }
+            }
+            Event::ApplicationUpdated { update } if measuring => {
+                metrics
+                    .application_displacements
+                    .push((time_s, update.displacement_ms));
+            }
+            Event::ProbeLost { .. } => {
+                metrics.probes_lost += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl EngineState {
+    /// An empty state used only as the `mem::replace` placeholder while the
+    /// real state is split across worker threads.
+    fn placeholder() -> Self {
+        EngineState {
+            links: HashMap::new(),
+            link_config: LinkModelConfig::default(),
+            neighbor_sets: Vec::new(),
+            neighbor_bits: Vec::new(),
+            round_robin: Vec::new(),
+            protocol_rng: StdRng::seed_from_u64(0),
+            alive: Vec::new(),
+            probe_cycle_active: Vec::new(),
+            active_partitions: Vec::new(),
+            runs: Vec::new(),
+            crash_snapshots: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            events_scratch: Vec::new(),
+        }
+    }
+
+    /// Splits a multi-configuration state into one single-configuration
+    /// worker per run. Schedule state (neighbour sets, RNG, liveness) is
+    /// cloned — it is a pure function of the seeds and the scenario, never
+    /// of the coordinate stacks — while the node stacks move.
+    fn split_per_config(self) -> Vec<EngineState> {
+        let EngineState {
+            links,
+            link_config,
+            neighbor_sets,
+            neighbor_bits,
+            round_robin,
+            protocol_rng,
+            alive,
+            probe_cycle_active,
+            active_partitions,
+            runs,
+            crash_snapshots,
+            ..
+        } = self;
+        runs.into_iter()
+            .zip(crash_snapshots)
+            .map(|(run, snapshots)| EngineState {
+                links: links.clone(),
+                link_config: link_config.clone(),
+                neighbor_sets: neighbor_sets.clone(),
+                neighbor_bits: neighbor_bits.clone(),
+                round_robin: round_robin.clone(),
+                protocol_rng: protocol_rng.clone(),
+                alive: alive.clone(),
+                probe_cycle_active: probe_cycle_active.clone(),
+                active_partitions: active_partitions.clone(),
+                runs: vec![run],
+                crash_snapshots: vec![snapshots],
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                events_scratch: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Reassembles the post-run state from per-configuration workers: the
+    /// runs concatenate in their original order; the schedule state is taken
+    /// from the first worker (every worker ends with the identical
+    /// schedule).
+    fn merge(mut workers: Vec<EngineState>) -> EngineState {
+        let mut merged = workers.remove(0);
+        for worker in workers {
+            merged.runs.extend(worker.runs);
+            merged.crash_snapshots.extend(worker.crash_snapshots);
+        }
+        merged
+    }
+
+    /// True when `node` already has `peer` in its probe rotation.
+    fn knows(&self, node: usize, peer: usize) -> bool {
+        self.neighbor_bits[node][peer / 64] >> (peer % 64) & 1 == 1
+    }
+
+    /// Adds `peer` to `node`'s probe rotation unless already present.
+    fn neighbor_add(&mut self, node: usize, peer: usize) {
+        if !self.knows(node, peer) {
+            self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
+            self.neighbor_sets[node].push(peer);
+        }
+    }
+
+    /// Removes `peer` from `node`'s probe rotation if present.
+    fn neighbor_remove(&mut self, node: usize, peer: usize) {
+        if self.knows(node, peer) {
+            self.neighbor_bits[node][peer / 64] &= !(1 << (peer % 64));
+            self.neighbor_sets[node].retain(|&member| member != peer);
+        }
+    }
+
+    /// Replaces `node`'s probe rotation wholesale (joiner bootstrap).
+    fn neighbor_replace(&mut self, node: usize, set: Vec<usize>) {
+        for word in self.neighbor_bits[node].iter_mut() {
+            *word = 0;
+        }
+        for &peer in &set {
+            self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
+        }
+        self.neighbor_sets[node] = set;
+    }
+
+    /// Pops a free exchange slot or grows the slab by one.
+    fn acquire_slot(&mut self) -> usize {
+        match self.free_slots.pop() {
+            Some(index) => index,
+            None => {
+                self.slots.push(ExchangeSlot::default());
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Returns a slot (and its buffers' capacity) to the free list.
+    fn release_slot(&mut self, index: usize) {
+        self.free_slots.push(index);
     }
 
     /// Draws one full exchange over the (unordered) link `src`–`dst`: the
     /// observed RTT, the per-direction loss decisions and the asymmetric
     /// one-way delays. The base RTT comes from the flattened
     /// [`RttMatrix`] — one multiply-add per lookup on the hot path.
-    fn sample_exchange(&mut self, src: usize, dst: usize, time_s: f64) -> LinkDraw {
+    fn sample_exchange(&mut self, env: &SimEnv, src: usize, dst: usize, time_s: f64) -> LinkDraw {
         let key = if src < dst { (src, dst) } else { (dst, src) };
-        let base = self.rtt_matrix[(key.0, key.1)];
-        let seed = self
+        let base = env.rtt_matrix[(key.0, key.1)];
+        let seed = env
             .workload
             .seed()
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(((key.0 as u64) << 32) | key.1 as u64);
-        let duration = self.sim_config.duration_s;
-        let link_config = self.workload.link_config().clone();
+        let duration = env.sim_config.duration_s;
+        let link_config = &self.link_config;
         let link = self
             .links
             .entry(key)
-            .or_insert_with(|| LinkModel::new(base, link_config, duration, seed));
+            .or_insert_with(|| LinkModel::new(base, link_config.clone(), duration, seed));
         let rtt_ms = link.sample(time_s);
         let forward_lost = link.sample_loss();
         let reverse_lost = link.sample_loss();
@@ -598,67 +893,26 @@ impl Simulator {
             .any(|window| time_s < window.heal_at_s && window.members[a] != window.members[b])
     }
 
-    /// Folds one engine event stream into a node's metric accumulators.
-    /// Losses are counted over the whole run (a dead link produces nothing
-    /// to gate a measurement window on); everything else respects the
-    /// warm-up exclusion.
-    fn fold_events(
-        metrics: &mut NodeMetrics,
-        time_s: f64,
-        measuring: bool,
-        events: &[Event<usize>],
-    ) {
-        for event in events {
-            match event {
-                Event::SystemMoved {
-                    displacement_ms,
-                    relative_error,
-                    application_relative_error,
-                    ..
-                } if measuring => {
-                    metrics.system_errors.push((time_s, *relative_error));
-                    metrics
-                        .application_errors
-                        .push((time_s, *application_relative_error));
-                    if *displacement_ms > 0.0 {
-                        metrics
-                            .system_displacements
-                            .push((time_s, *displacement_ms));
-                    }
-                }
-                Event::ApplicationUpdated { update } if measuring => {
-                    metrics
-                        .application_displacements
-                        .push((time_s, update.displacement_ms));
-                }
-                Event::ProbeLost { .. } => {
-                    metrics.probes_lost += 1;
-                }
-                _ => {}
-            }
-        }
-    }
-
-    /// Runs the simulation to completion and returns the collected metrics.
-    pub fn run(&mut self) -> SimReport {
-        let duration = self.sim_config.duration_s;
+    /// Drives the event loop from `t = 0` to the configured duration.
+    fn run_to_completion(&mut self, env: &SimEnv) {
+        let duration = env.sim_config.duration_s;
         let mut queue: EventQueue<SimEvent> = EventQueue::new();
 
-        for node in self.scenario.initially_down().to_vec() {
+        for &node in env.scenario.initially_down() {
             self.alive[node] = false;
         }
-        for (index, event) in self.scenario.events().iter().enumerate() {
+        for (index, event) in env.scenario.events().iter().enumerate() {
             if event.at_s < duration {
                 queue.schedule(event.at_s, SimEvent::ScenarioAction { index });
             }
         }
-        for src in 0..self.topology.len() {
+        for src in 0..env.topology.len() {
             if self.alive[src] {
                 self.probe_cycle_active[src] = true;
                 queue.schedule(0.0, SimEvent::ProbeSend { src });
             }
         }
-        if !self.sim_config.track_nodes.is_empty() {
+        if !env.sim_config.track_nodes.is_empty() {
             queue.schedule(0.0, SimEvent::TrackSample);
         }
 
@@ -667,47 +921,41 @@ impl Simulator {
                 break;
             }
             match event {
-                SimEvent::ProbeSend { src } => self.on_probe_send(now, src, &mut queue),
+                SimEvent::ProbeSend { src } => self.on_probe_send(env, now, src, &mut queue),
                 SimEvent::ProbeDeliver {
                     src,
                     dst,
+                    slot,
                     rtt_ms,
                     reverse_delay_s,
                     reverse_lost,
-                    requests,
                 } => self.on_probe_deliver(
                     now,
                     src,
                     dst,
+                    slot,
                     rtt_ms,
                     reverse_delay_s,
                     reverse_lost,
-                    requests,
                     &mut queue,
                 ),
-                SimEvent::ResponseDeliver {
-                    src,
-                    dst,
-                    responses,
-                } => self.on_response_deliver(now, src, dst, &responses),
+                SimEvent::ResponseDeliver { src, dst, slot } => {
+                    self.on_response_deliver(env, now, src, dst, slot)
+                }
                 SimEvent::ProbeTimeout { src, seq } => self.on_probe_timeout(src, seq),
-                SimEvent::TrackSample => self.on_track_sample(now, &mut queue),
-                SimEvent::ScenarioAction { index } => self.on_scenario(now, index, &mut queue),
+                SimEvent::TrackSample => self.on_track_sample(env, now, &mut queue),
+                SimEvent::ScenarioAction { index } => self.on_scenario(env, now, index, &mut queue),
             }
         }
-
-        let mut configs = HashMap::new();
-        for run in &self.runs {
-            configs.insert(run.name.clone(), run.metrics.clone());
-        }
-        SimReport::new(
-            configs,
-            self.sim_config.duration_s,
-            self.sim_config.measurement_start_s,
-        )
     }
 
-    fn on_probe_send(&mut self, now: f64, src: usize, queue: &mut EventQueue<SimEvent>) {
+    fn on_probe_send(
+        &mut self,
+        env: &SimEnv,
+        now: f64,
+        src: usize,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
         // Healed partitions are dead weight for every later crossing check;
         // prune them as the clock passes their heal time.
         self.active_partitions
@@ -717,8 +965,8 @@ impl Simulator {
             self.probe_cycle_active[src] = false;
             return;
         }
-        let next_tick = now + self.sim_config.probe_interval_s;
-        if next_tick < self.sim_config.duration_s {
+        let next_tick = now + env.sim_config.probe_interval_s;
+        if next_tick < env.sim_config.duration_s {
             queue.schedule(next_tick, SimEvent::ProbeSend { src });
         } else {
             self.probe_cycle_active[src] = false;
@@ -734,26 +982,31 @@ impl Simulator {
             return;
         }
 
-        // One raw observation shared by every configuration.
-        let draw = self.sample_exchange(src, dst, now);
+        // One raw observation shared by every configuration; the requests go
+        // into a reused exchange slot, not a fresh allocation.
+        let draw = self.sample_exchange(env, src, dst, now);
         let now_ms = (now * 1_000.0) as u64;
-        let requests: Vec<ProbeRequest<usize>> = self
-            .runs
-            .iter_mut()
-            .map(|run| run.nodes[src].probe_request_for(dst, now_ms))
-            .collect();
+        let slot = self.acquire_slot();
+        let seq = {
+            let slot_buffers = &mut self.slots[slot];
+            slot_buffers.requests.clear();
+            for run in self.runs.iter_mut() {
+                slot_buffers
+                    .requests
+                    .push(run.nodes[src].probe_request_for(dst, now_ms));
+            }
+            slot_buffers.requests[0].seq
+        };
 
         // The timer is armed regardless of the probe's fate — exactly what a
         // deployed prober would do.
         queue.schedule(
-            now + self.sim_config.probe_timeout_s,
-            SimEvent::ProbeTimeout {
-                src,
-                seq: requests[0].seq,
-            },
+            now + env.sim_config.probe_timeout_s,
+            SimEvent::ProbeTimeout { src, seq },
         );
 
         if draw.forward_lost || self.partitioned(src, dst, now) {
+            self.release_slot(slot);
             return;
         }
         queue.schedule(
@@ -761,10 +1014,10 @@ impl Simulator {
             SimEvent::ProbeDeliver {
                 src,
                 dst,
+                slot,
                 rtt_ms: draw.rtt_ms,
                 reverse_delay_s: draw.reverse_delay_s,
                 reverse_lost: draw.reverse_lost,
-                requests,
             },
         );
     }
@@ -775,75 +1028,86 @@ impl Simulator {
         now: f64,
         src: usize,
         dst: usize,
+        slot: usize,
         rtt_ms: f64,
         reverse_delay_s: f64,
         reverse_lost: bool,
-        requests: Vec<ProbeRequest<usize>>,
         queue: &mut EventQueue<SimEvent>,
     ) {
         // A crash between send and delivery silently eats the probe; the
         // prober's timeout reports the loss.
         if !self.alive[dst] || self.partitioned(src, dst, now) {
+            self.release_slot(slot);
             return;
         }
-        let responses: Vec<ProbeResponse<usize>> = self
-            .runs
-            .iter_mut()
-            .zip(&requests)
-            .map(|(run, request)| {
-                let mut response = run.nodes[dst].respond(request);
-                response.rtt_ms = rtt_ms;
-                response
-            })
-            .collect();
+        {
+            let slot_buffers = &mut self.slots[slot];
+            for (index, run) in self.runs.iter_mut().enumerate() {
+                // First uses of a slot grow the response vector; afterwards
+                // the existing message (and its gossip buffer) is rewritten
+                // in place.
+                if slot_buffers.responses.len() <= index {
+                    let response = run.nodes[dst].respond(&slot_buffers.requests[index]);
+                    slot_buffers.responses.push(response);
+                } else {
+                    run.nodes[dst].respond_into(
+                        &slot_buffers.requests[index],
+                        &mut slot_buffers.responses[index],
+                    );
+                }
+                slot_buffers.responses[index].rtt_ms = rtt_ms;
+            }
+        }
         if reverse_lost {
+            self.release_slot(slot);
             return;
         }
         queue.schedule(
             now + reverse_delay_s,
-            SimEvent::ResponseDeliver {
-                src,
-                dst,
-                responses,
-            },
+            SimEvent::ResponseDeliver { src, dst, slot },
         );
     }
 
-    fn on_response_deliver(
-        &mut self,
-        now: f64,
-        src: usize,
-        dst: usize,
-        responses: &[ProbeResponse<usize>],
-    ) {
+    fn on_response_deliver(&mut self, env: &SimEnv, now: f64, src: usize, dst: usize, slot: usize) {
         // A reply reaching a node that crashed meanwhile is dropped; the
         // pending entry survives in its crash snapshot and is expired as
         // lost if the node restarts. A reply crossing a partition that
         // activated while it was in flight is dropped too — every packet
         // across the boundary, in both directions, is lost until the heal.
         if !self.alive[src] || self.partitioned(src, dst, now) {
+            self.release_slot(slot);
             return;
         }
-        let measuring = now >= self.sim_config.measurement_start_s;
-        for (run, response) in self.runs.iter_mut().zip(responses) {
-            let events = run.nodes[src].handle_response(response);
-            let node_metrics = &mut run.metrics.nodes[src];
-            if measuring {
-                node_metrics.observations += 1;
+        let measuring = now >= env.sim_config.measurement_start_s;
+        {
+            let EngineState {
+                runs,
+                slots,
+                events_scratch,
+                ..
+            } = self;
+            for (run, response) in runs.iter_mut().zip(slots[slot].responses.iter()) {
+                events_scratch.clear();
+                run.nodes[src].handle_response_into(response, events_scratch);
+                let node_metrics = &mut run.metrics.nodes[src];
+                if measuring {
+                    node_metrics.observations += 1;
+                }
+                fold_events(node_metrics, now, measuring, events_scratch);
             }
-            Self::fold_events(node_metrics, now, measuring, &events);
         }
+        self.release_slot(slot);
 
         // Gossip: the probed node hands back one address from its own
         // neighbour set; the prober adds it. Identical across
         // configurations because it only affects the probe schedule.
-        if self.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
+        if env.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
             let idx = self
                 .protocol_rng
                 .gen_range(0..self.neighbor_sets[dst].len());
             let learned = self.neighbor_sets[dst][idx];
-            if learned != src && !self.neighbor_sets[src].contains(&learned) {
-                self.neighbor_sets[src].push(learned);
+            if learned != src {
+                self.neighbor_add(src, learned);
             }
         }
     }
@@ -860,29 +1124,37 @@ impl Simulator {
         // the same timeout.
         let mut target = None;
         let mut evicted_by_all = true;
-        for run in &mut self.runs {
-            let events = run.nodes[src].handle_timeout(seq);
-            let mut evicted_here = false;
-            for event in &events {
-                match event {
-                    Event::ProbeLost { id, .. } => target = Some(*id),
-                    Event::NeighborEvicted { .. } => evicted_here = true,
-                    _ => {}
+        {
+            let EngineState {
+                runs,
+                events_scratch,
+                ..
+            } = self;
+            for run in runs.iter_mut() {
+                events_scratch.clear();
+                run.nodes[src].handle_timeout_into(seq, events_scratch);
+                let mut evicted_here = false;
+                for event in events_scratch.iter() {
+                    match event {
+                        Event::ProbeLost { id, .. } => target = Some(*id),
+                        Event::NeighborEvicted { .. } => evicted_here = true,
+                        _ => {}
+                    }
                 }
+                fold_events(&mut run.metrics.nodes[src], 0.0, false, events_scratch);
+                evicted_by_all &= evicted_here;
             }
-            Self::fold_events(&mut run.metrics.nodes[src], 0.0, false, &events);
-            evicted_by_all &= evicted_here;
         }
         if evicted_by_all {
             if let Some(dst) = target {
-                self.neighbor_sets[src].retain(|&member| member != dst);
+                self.neighbor_remove(src, dst);
             }
         }
     }
 
-    fn on_track_sample(&mut self, now: f64, queue: &mut EventQueue<SimEvent>) {
+    fn on_track_sample(&mut self, env: &SimEnv, now: f64, queue: &mut EventQueue<SimEvent>) {
         for run in &mut self.runs {
-            for &node in &self.sim_config.track_nodes {
+            for &node in &env.sim_config.track_nodes {
                 run.metrics.tracked.push(TrackedCoordinate {
                     time_s: now,
                     node,
@@ -891,18 +1163,24 @@ impl Simulator {
                 });
             }
         }
-        let next = now + self.sim_config.track_interval_s;
-        if next < self.sim_config.duration_s {
+        let next = now + env.sim_config.track_interval_s;
+        if next < env.sim_config.duration_s {
             queue.schedule(next, SimEvent::TrackSample);
         }
     }
 
-    fn on_scenario(&mut self, now: f64, index: usize, queue: &mut EventQueue<SimEvent>) {
-        let action = self.scenario.events()[index].action.clone();
+    fn on_scenario(
+        &mut self,
+        env: &SimEnv,
+        now: f64,
+        index: usize,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let action = env.scenario.events()[index].action.clone();
         match action {
             ScenarioAction::Join { nodes } => {
                 for node in nodes {
-                    self.bring_up(now, node, true, queue);
+                    self.bring_up(env, now, node, true, queue);
                 }
             }
             ScenarioAction::Leave { nodes } => {
@@ -910,8 +1188,8 @@ impl Simulator {
                     self.alive[node] = false;
                     // A graceful leaver says goodbye: every live node drops
                     // it from its probe rotation immediately.
-                    for set in &mut self.neighbor_sets {
-                        set.retain(|&member| member != node);
+                    for other in 0..self.neighbor_sets.len() {
+                        self.neighbor_remove(other, node);
                     }
                 }
             }
@@ -929,24 +1207,24 @@ impl Simulator {
             }
             ScenarioAction::Restart { nodes } => {
                 for node in nodes {
-                    self.bring_up(now, node, false, queue);
+                    self.bring_up(env, now, node, false, queue);
                 }
             }
             ScenarioAction::Partition { group, heal_at_s } => {
-                self.start_partition(&group, heal_at_s);
+                self.start_partition(env, &group, heal_at_s);
             }
             ScenarioAction::PartitionRegions { regions, heal_at_s } => {
                 let group: Vec<usize> = regions
                     .iter()
-                    .flat_map(|&region| self.topology.nodes_in_region(region))
+                    .flat_map(|&region| env.topology.nodes_in_region(region))
                     .collect();
-                self.start_partition(&group, heal_at_s);
+                self.start_partition(env, &group, heal_at_s);
             }
         }
     }
 
-    fn start_partition(&mut self, group: &[usize], heal_at_s: f64) {
-        let mut members = vec![false; self.topology.len()];
+    fn start_partition(&mut self, env: &SimEnv, group: &[usize], heal_at_s: f64) {
+        let mut members = vec![false; env.topology.len()];
         for &node in group {
             members[node] = true;
         }
@@ -958,7 +1236,14 @@ impl Simulator {
     /// restores on a restart. Either way its probe cycle resumes
     /// immediately and any probes outstanding at the crash are expired as
     /// lost (a rebooted daemon stops waiting for pre-crash replies).
-    fn bring_up(&mut self, now: f64, node: usize, fresh: bool, queue: &mut EventQueue<SimEvent>) {
+    fn bring_up(
+        &mut self,
+        env: &SimEnv,
+        now: f64,
+        node: usize,
+        fresh: bool,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
         if self.alive[node] {
             return;
         }
@@ -977,7 +1262,7 @@ impl Simulator {
                 None => StableNode::new(run.config.clone()),
             };
             let events = revived.expire_pending(now_ms, 0);
-            Self::fold_events(&mut run.metrics.nodes[node], now, false, &events);
+            fold_events(&mut run.metrics.nodes[node], now, false, &events);
             run.nodes[node] = revived;
         }
         if fresh {
@@ -986,8 +1271,8 @@ impl Simulator {
             // the paper's deployments) so the mesh starts probing it back;
             // gossip spreads its address from there.
             self.round_robin[node] = 0;
-            let n = self.topology.len();
-            let want = self.sim_config.initial_neighbors.min(
+            let n = env.topology.len();
+            let want = env.sim_config.initial_neighbors.min(
                 self.alive
                     .iter()
                     .filter(|&&up| up)
@@ -1004,11 +1289,9 @@ impl Simulator {
                 }
             }
             for &seed in &set {
-                if !self.neighbor_sets[seed].contains(&node) {
-                    self.neighbor_sets[seed].push(node);
-                }
+                self.neighbor_add(seed, node);
             }
-            self.neighbor_sets[node] = set;
+            self.neighbor_replace(node, set);
         }
         if !self.probe_cycle_active[node] {
             self.probe_cycle_active[node] = true;
@@ -1200,9 +1483,9 @@ mod tests {
             sim_config,
             vec![("mp".into(), NodeConfig::paper_defaults())],
         );
-        let before: usize = sim.neighbor_sets.iter().map(|s| s.len()).sum();
+        let before: usize = sim.state.neighbor_sets.iter().map(|s| s.len()).sum();
         sim.run();
-        let after: usize = sim.neighbor_sets.iter().map(|s| s.len()).sum();
+        let after: usize = sim.state.neighbor_sets.iter().map(|s| s.len()).sum();
         assert!(
             after > before,
             "gossip should add neighbours ({before} -> {after})"
@@ -1338,7 +1621,7 @@ mod tests {
             "a leaver stops observing"
         );
         // Nobody keeps it in their rotation.
-        for (i, set) in sim.neighbor_sets.iter().enumerate() {
+        for (i, set) in sim.state.neighbor_sets.iter().enumerate() {
             if i != 5 {
                 assert!(!set.contains(&5), "node {i} still probes the leaver");
             }
@@ -1462,7 +1745,7 @@ mod tests {
         let report = sim.run();
         let metrics = report.config("mp").unwrap();
         assert!(metrics.total_probes_lost() > 0, "timeouts fired");
-        for (node, set) in sim.neighbor_sets.iter().enumerate() {
+        for (node, set) in sim.state.neighbor_sets.iter().enumerate() {
             if node != 5 {
                 assert!(
                     !set.contains(&5),

@@ -73,6 +73,61 @@ pub fn energy_distance_by<T, F>(a: &[T], b: &[T], dist: F) -> Result<f64, StatsE
 where
     F: Fn(&T, &T) -> f64,
 {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let within_a = within_sum_by(a, &dist);
+    energy_distance_with_cached_within(a, b, within_a, dist)
+}
+
+/// The within-sample pairwise sum `Σ_{i≠j} d(x_i, x_j)` over one sample, in
+/// the fixed `(i, j)` iteration order [`energy_distance_by`] uses.
+///
+/// Exposed so callers whose first sample is *frozen* between computations
+/// (the ENERGY heuristic's start window, §V-B) can compute this sum once
+/// and reuse it through [`energy_distance_with_cached_within`] — the cached
+/// path is bit-identical to the full recomputation because both run this
+/// exact loop.
+pub fn within_sum_by<T, F>(sample: &[T], dist: F) -> f64
+where
+    F: Fn(&T, &T) -> f64,
+{
+    let n = sample.len();
+    // Four independent accumulator lanes break the loop-carried addition
+    // dependency (a single `sum +=` chain serialises on the FPU's add
+    // latency and dominates the whole statistic for 32-element windows).
+    // Lane assignment is a fixed function of the pair index, so the result
+    // is deterministic — it differs from a single-chain sum only in
+    // floating-point association (last-ulp).
+    let mut lanes = [0.0f64; 4];
+    let mut pair = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                lanes[pair & 3] += dist(&sample[i], &sample[j]);
+                pair += 1;
+            }
+        }
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// [`energy_distance_by`] with the first sample's within-sum supplied by the
+/// caller (see [`within_sum_by`]). The cross term and the second sample's
+/// within term are computed as usual.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when either sample is empty.
+pub fn energy_distance_with_cached_within<T, F>(
+    a: &[T],
+    b: &[T],
+    within_a: f64,
+    dist: F,
+) -> Result<f64, StatsError>
+where
+    F: Fn(&T, &T) -> f64,
+{
     let n1 = a.len();
     let n2 = b.len();
     if n1 == 0 || n2 == 0 {
@@ -81,30 +136,18 @@ where
     let n1f = n1 as f64;
     let n2f = n2 as f64;
 
-    let mut cross = 0.0;
+    // Same four-lane accumulation as `within_sum_by`; see the note there.
+    let mut lanes = [0.0f64; 4];
+    let mut pair = 0usize;
     for ai in a {
         for bj in b {
-            cross += dist(ai, bj);
+            lanes[pair & 3] += dist(ai, bj);
+            pair += 1;
         }
     }
+    let cross = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 
-    let mut within_a = 0.0;
-    for i in 0..n1 {
-        for j in 0..n1 {
-            if i != j {
-                within_a += dist(&a[i], &a[j]);
-            }
-        }
-    }
-
-    let mut within_b = 0.0;
-    for i in 0..n2 {
-        for j in 0..n2 {
-            if i != j {
-                within_b += dist(&b[i], &b[j]);
-            }
-        }
-    }
+    let within_b = within_sum_by(b, &dist);
 
     let term = 2.0 / (n1f * n2f) * cross - within_a / (n1f * n1f) - within_b / (n2f * n2f);
     Ok(n1f * n2f / (n1f + n2f) * term)

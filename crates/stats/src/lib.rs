@@ -52,7 +52,9 @@ pub mod timeseries;
 
 pub use boxplot::BoxplotSummary;
 pub use cdf::Ecdf;
-pub use energy::{energy_distance, energy_distance_by};
+pub use energy::{
+    energy_distance, energy_distance_by, energy_distance_with_cached_within, within_sum_by,
+};
 pub use histogram::{Histogram, HistogramBin};
 pub use percentile::{median, percentile, percentile_of_sorted};
 pub use ranksum::{rank_sum_test, RankSumOutcome};

@@ -91,15 +91,21 @@ impl VivaldiConfig {
         self.seed
     }
 
-    /// Sets the number of dimensions (must be ≥ 1).
+    /// Sets the number of dimensions (must be in `1..=MAX_DIMS`).
     ///
     /// # Panics
     ///
-    /// Panics when `dimensions == 0`.
+    /// Panics when `dimensions == 0` or when `dimensions` exceeds the inline
+    /// coordinate capacity [`crate::coordinate::MAX_DIMS`].
     pub fn with_dimensions(mut self, dimensions: usize) -> Self {
         assert!(
             dimensions > 0,
             "coordinate space must have at least one dimension"
+        );
+        assert!(
+            dimensions <= crate::coordinate::MAX_DIMS,
+            "coordinate space limited to {} dimensions, requested {dimensions}",
+            crate::coordinate::MAX_DIMS
         );
         self.dimensions = dimensions;
         self

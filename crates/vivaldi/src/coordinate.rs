@@ -7,6 +7,18 @@
 //! `i` and `j` is `‖x_i − x_j‖ + h_i + h_j`, the heights capturing each
 //! node's access-link latency) is supported because downstream users of the
 //! library may want it, but all reproduced experiments run with zero heights.
+//!
+//! # Representation
+//!
+//! A coordinate stores its components **inline** in a fixed-capacity
+//! `[f64; MAX_DIMS]` array plus an active length, so the entire per-probe
+//! numeric path — differences, unit vectors, spring displacements, centroids
+//! — runs without touching the heap. Cloning a coordinate is a `memcpy`.
+//! Spaces with more than [`MAX_DIMS`] dimensions are rejected at
+//! construction; raise the constant (one line) and rebuild if a workload
+//! ever needs more. The serialized form is unchanged from the previous
+//! `Vec<f64>`-backed representation: only the active components travel on
+//! the wire.
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +27,11 @@ use crate::error::CoordinateError;
 /// Minimum height a coordinate may take (milliseconds). Heights never go
 /// negative; a small positive floor keeps the spring dynamics well-behaved.
 pub const MIN_HEIGHT: f64 = 0.0;
+
+/// Maximum number of Euclidean dimensions a [`Coordinate`] can hold. The
+/// paper runs in 2–5 dimensions; eight leaves generous headroom while
+/// keeping a coordinate at 80 inline bytes.
+pub const MAX_DIMS: usize = 8;
 
 /// A point in the latency space: a Euclidean component of fixed dimension
 /// plus a non-negative height.
@@ -28,9 +45,10 @@ pub const MIN_HEIGHT: f64 = 0.0;
 /// let b = Coordinate::origin(3);
 /// assert_eq!(a.distance(&b), 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Clone)]
 pub struct Coordinate {
-    components: Vec<f64>,
+    components: [f64; MAX_DIMS],
+    len: usize,
     height: f64,
 }
 
@@ -49,14 +67,63 @@ impl Deserialize for Coordinate {
     }
 }
 
+// Hand-written because the derive would serialize the whole backing array
+// including inactive lanes; only the active components are meaningful. The
+// output is byte-identical to what the old `Vec<f64>`-backed derive
+// produced.
+impl Serialize for Coordinate {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "components".to_string(),
+                serde::Value::Seq(self.components().iter().map(|c| c.to_value()).collect()),
+            ),
+            ("height".to_string(), self.height.to_value()),
+        ])
+    }
+}
+
+// Equality over the *active* components only; inactive lanes are
+// representation padding, not value.
+impl PartialEq for Coordinate {
+    fn eq(&self, other: &Self) -> bool {
+        self.components() == other.components() && self.height == other.height
+    }
+}
+
+impl std::fmt::Debug for Coordinate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinate")
+            .field("components", &self.components())
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
 impl Coordinate {
+    /// Builds a coordinate from already-validated parts. Internal: every
+    /// public constructor funnels through the invariant checks instead.
+    pub(crate) fn from_parts(components: [f64; MAX_DIMS], len: usize, height: f64) -> Self {
+        debug_assert!((1..=MAX_DIMS).contains(&len));
+        Coordinate {
+            components,
+            len,
+            height,
+        }
+    }
+
     /// Creates a coordinate from Euclidean components with zero height.
+    ///
+    /// Accepts anything slice-like (`Vec<f64>`, `[f64; N]`, `&[f64]`), so
+    /// existing `Coordinate::new(vec![..])` callers keep working while new
+    /// code can pass arrays without allocating.
     ///
     /// # Errors
     ///
-    /// Returns [`CoordinateError::Dimension`] when `components` is empty and
-    /// [`CoordinateError::NotFinite`] when any component is not finite.
-    pub fn new(components: Vec<f64>) -> Result<Self, CoordinateError> {
+    /// Returns [`CoordinateError::Dimension`] when `components` is empty,
+    /// [`CoordinateError::TooManyDimensions`] when it exceeds [`MAX_DIMS`]
+    /// and [`CoordinateError::NotFinite`] when any component is not finite.
+    pub fn new<C: AsRef<[f64]>>(components: C) -> Result<Self, CoordinateError> {
         Self::with_height(components, 0.0)
     }
 
@@ -65,41 +132,55 @@ impl Coordinate {
     /// # Errors
     ///
     /// Returns [`CoordinateError::Dimension`] when `components` is empty,
+    /// [`CoordinateError::TooManyDimensions`] when it exceeds [`MAX_DIMS`],
     /// [`CoordinateError::NotFinite`] when any value is not finite, and
     /// [`CoordinateError::NegativeHeight`] when `height < 0`.
-    pub fn with_height(components: Vec<f64>, height: f64) -> Result<Self, CoordinateError> {
-        if components.is_empty() {
+    pub fn with_height<C: AsRef<[f64]>>(
+        components: C,
+        height: f64,
+    ) -> Result<Self, CoordinateError> {
+        let source = components.as_ref();
+        if source.is_empty() {
             return Err(CoordinateError::Dimension);
         }
-        if components.iter().any(|c| !c.is_finite()) || !height.is_finite() {
+        if source.len() > MAX_DIMS {
+            return Err(CoordinateError::TooManyDimensions {
+                requested: source.len(),
+            });
+        }
+        if source.iter().any(|c| !c.is_finite()) || !height.is_finite() {
             return Err(CoordinateError::NotFinite);
         }
         if height < 0.0 {
             return Err(CoordinateError::NegativeHeight);
         }
-        Ok(Coordinate { components, height })
+        let mut inline = [0.0; MAX_DIMS];
+        inline[..source.len()].copy_from_slice(source);
+        Ok(Coordinate::from_parts(inline, source.len(), height))
     }
 
     /// The origin of a `dimensions`-dimensional space with zero height.
     ///
     /// # Panics
     ///
-    /// Panics if `dimensions == 0`; a zero-dimensional latency space is
-    /// meaningless and always indicates a configuration bug.
+    /// Panics if `dimensions == 0` (a zero-dimensional latency space is
+    /// meaningless and always indicates a configuration bug) or if
+    /// `dimensions > MAX_DIMS`.
     pub fn origin(dimensions: usize) -> Self {
         assert!(
             dimensions > 0,
             "coordinate space must have at least one dimension"
         );
-        Coordinate {
-            components: vec![0.0; dimensions],
-            height: 0.0,
-        }
+        assert!(
+            dimensions <= MAX_DIMS,
+            "coordinate space limited to {MAX_DIMS} dimensions, requested {dimensions}"
+        );
+        Coordinate::from_parts([0.0; MAX_DIMS], dimensions, 0.0)
     }
 
     /// The Euclidean components.
     pub fn components(&self) -> &[f64] {
-        &self.components
+        &self.components[..self.len]
     }
 
     /// The height component (milliseconds).
@@ -109,7 +190,7 @@ impl Coordinate {
 
     /// Number of Euclidean dimensions.
     pub fn dimensions(&self) -> usize {
-        self.components.len()
+        self.len
     }
 
     /// Predicted round-trip latency to `other`:
@@ -128,9 +209,9 @@ impl Coordinate {
             "coordinates must share a dimensionality"
         );
         let euclid: f64 = self
-            .components
+            .components()
             .iter()
-            .zip(other.components.iter())
+            .zip(other.components().iter())
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();
@@ -140,13 +221,12 @@ impl Coordinate {
     /// Euclidean magnitude of the vector part plus the height. The magnitude
     /// of a coordinate difference is the predicted latency.
     pub fn magnitude(&self) -> f64 {
-        let euclid: f64 = self.components.iter().map(|c| c * c).sum::<f64>().sqrt();
-        euclid + self.height
+        self.euclidean_magnitude() + self.height
     }
 
     /// Magnitude of only the Euclidean part, ignoring the height.
     pub fn euclidean_magnitude(&self) -> f64 {
-        self.components.iter().map(|c| c * c).sum::<f64>().sqrt()
+        self.components().iter().map(|c| c * c).sum::<f64>().sqrt()
     }
 
     /// Vector difference `self − other`. Heights add, following the
@@ -159,15 +239,15 @@ impl Coordinate {
     /// Panics when dimensionalities differ.
     pub fn sub(&self, other: &Coordinate) -> Coordinate {
         assert_eq!(self.dimensions(), other.dimensions());
-        Coordinate {
-            components: self
-                .components
-                .iter()
-                .zip(other.components.iter())
-                .map(|(a, b)| a - b)
-                .collect(),
-            height: self.height + other.height,
+        let mut out = self.clone();
+        for (a, b) in out.components[..out.len]
+            .iter_mut()
+            .zip(other.components().iter())
+        {
+            *a -= b;
         }
+        out.height = self.height + other.height;
+        out
     }
 
     /// Vector sum `self + other`. Heights add.
@@ -177,39 +257,53 @@ impl Coordinate {
     /// Panics when dimensionalities differ.
     pub fn add(&self, other: &Coordinate) -> Coordinate {
         assert_eq!(self.dimensions(), other.dimensions());
-        Coordinate {
-            components: self
-                .components
-                .iter()
-                .zip(other.components.iter())
-                .map(|(a, b)| a + b)
-                .collect(),
-            height: (self.height + other.height).max(MIN_HEIGHT),
+        let mut out = self.clone();
+        for (a, b) in out.components[..out.len]
+            .iter_mut()
+            .zip(other.components().iter())
+        {
+            *a += b;
         }
+        out.height = (self.height + other.height).max(MIN_HEIGHT);
+        out
     }
 
     /// Scales both the Euclidean part and the height by `factor`.
     pub fn scale(&self, factor: f64) -> Coordinate {
-        Coordinate {
-            components: self.components.iter().map(|c| c * factor).collect(),
-            height: self.height * factor,
+        let mut out = self.clone();
+        out.scale_in_place(factor);
+        out
+    }
+
+    /// Scales this coordinate in place — the hot-path form of
+    /// [`scale`](Coordinate::scale).
+    pub fn scale_in_place(&mut self, factor: f64) {
+        for c in self.components[..self.len].iter_mut() {
+            *c *= factor;
         }
+        self.height *= factor;
     }
 
     /// Applies a displacement vector to this coordinate: the Euclidean parts
     /// add and the height adds but is clamped to remain non-negative. This is
     /// the "move along the spring force" step of the Vivaldi update.
     pub fn displaced_by(&self, displacement: &Coordinate) -> Coordinate {
+        let mut out = self.clone();
+        out.displace_by(displacement);
+        out
+    }
+
+    /// In-place form of [`displaced_by`](Coordinate::displaced_by) — moves
+    /// this coordinate along `displacement` without any temporary.
+    pub fn displace_by(&mut self, displacement: &Coordinate) {
         assert_eq!(self.dimensions(), displacement.dimensions());
-        Coordinate {
-            components: self
-                .components
-                .iter()
-                .zip(displacement.components.iter())
-                .map(|(a, b)| a + b)
-                .collect(),
-            height: (self.height + displacement.height).max(MIN_HEIGHT),
+        for (a, b) in self.components[..self.len]
+            .iter_mut()
+            .zip(displacement.components().iter())
+        {
+            *a += b;
         }
+        self.height = (self.height + displacement.height).max(MIN_HEIGHT);
     }
 
     /// Unit vector pointing from `other` toward `self` (zero height).
@@ -217,20 +311,22 @@ impl Coordinate {
     /// must then pick an arbitrary direction (Vivaldi uses a random one so
     /// that co-located nodes can separate).
     pub fn unit_vector_from(&self, other: &Coordinate) -> Option<Coordinate> {
-        let diff: Vec<f64> = self
-            .components
-            .iter()
-            .zip(other.components.iter())
-            .map(|(a, b)| a - b)
-            .collect();
-        let norm: f64 = diff.iter().map(|c| c * c).sum::<f64>().sqrt();
+        let mut diff = [0.0; MAX_DIMS];
+        let len = self.len.min(other.len);
+        for (d, (a, b)) in diff[..len]
+            .iter_mut()
+            .zip(self.components().iter().zip(other.components().iter()))
+        {
+            *d = a - b;
+        }
+        let norm: f64 = diff[..len].iter().map(|c| c * c).sum::<f64>().sqrt();
         if norm <= f64::EPSILON {
             return None;
         }
-        Some(Coordinate {
-            components: diff.into_iter().map(|c| c / norm).collect(),
-            height: 0.0,
-        })
+        for d in diff[..len].iter_mut() {
+            *d /= norm;
+        }
+        Some(Coordinate::from_parts(diff, len, 0.0))
     }
 
     /// Centroid of a non-empty set of coordinates: the component-wise mean of
@@ -240,36 +336,55 @@ impl Coordinate {
     ///
     /// Returns `None` for an empty slice.
     pub fn centroid(coords: &[Coordinate]) -> Option<Coordinate> {
-        let first = coords.first()?;
+        Self::centroid_iter(coords.iter())
+    }
+
+    /// Centroid over any iterator of coordinates, in iteration order. The
+    /// summation order matches [`centroid`](Coordinate::centroid), so ring
+    /// buffers can be averaged without first collecting them into a `Vec`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn centroid_iter<'a, I>(coords: I) -> Option<Coordinate>
+    where
+        I: IntoIterator<Item = &'a Coordinate>,
+    {
+        let mut iter = coords.into_iter();
+        let first = iter.next()?;
         let dims = first.dimensions();
-        let mut acc = vec![0.0; dims];
+        let mut acc = [0.0; MAX_DIMS];
         let mut height = 0.0;
-        for c in coords {
+        let mut count = 0usize;
+        for c in std::iter::once(first).chain(iter) {
             assert_eq!(c.dimensions(), dims, "centroid over mixed dimensionalities");
-            for (a, b) in acc.iter_mut().zip(c.components.iter()) {
+            for (a, b) in acc[..dims].iter_mut().zip(c.components().iter()) {
                 *a += b;
             }
             height += c.height;
+            count += 1;
         }
-        let n = coords.len() as f64;
-        Some(Coordinate {
-            components: acc.into_iter().map(|a| a / n).collect(),
-            height: (height / n).max(MIN_HEIGHT),
-        })
+        let n = count as f64;
+        for a in acc[..dims].iter_mut() {
+            *a /= n;
+        }
+        Some(Coordinate::from_parts(
+            acc,
+            dims,
+            (height / n).max(MIN_HEIGHT),
+        ))
     }
 
-    /// Returns the coordinate as a plain `Vec<f64>` of its Euclidean
-    /// components (the height, when present, is appended as a final element
-    /// only if non-zero consumers request it via [`Coordinate::height`]).
+    /// Returns the Euclidean components as a freshly allocated `Vec<f64>`.
+    /// The height is **not** included; read it separately through
+    /// [`Coordinate::height`] when it matters.
     pub fn to_vec(&self) -> Vec<f64> {
-        self.components.clone()
+        self.components().to_vec()
     }
 }
 
 impl std::fmt::Display for Coordinate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "(")?;
-        for (i, c) in self.components.iter().enumerate() {
+        for (i, c) in self.components().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -288,8 +403,11 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
-    fn rejects_empty_and_nonfinite() {
-        assert_eq!(Coordinate::new(vec![]), Err(CoordinateError::Dimension));
+    fn rejects_empty_nonfinite_and_oversized() {
+        assert_eq!(
+            Coordinate::new(Vec::<f64>::new()),
+            Err(CoordinateError::Dimension)
+        );
         assert_eq!(
             Coordinate::new(vec![f64::NAN]),
             Err(CoordinateError::NotFinite)
@@ -302,12 +420,35 @@ mod tests {
             Coordinate::with_height(vec![1.0], -1.0),
             Err(CoordinateError::NegativeHeight)
         );
+        assert_eq!(
+            Coordinate::new(vec![1.0; MAX_DIMS + 1]),
+            Err(CoordinateError::TooManyDimensions {
+                requested: MAX_DIMS + 1
+            })
+        );
+        // The boundary itself is fine.
+        assert!(Coordinate::new(vec![1.0; MAX_DIMS]).is_ok());
     }
 
     #[test]
     #[should_panic(expected = "at least one dimension")]
     fn origin_zero_dimensions_panics() {
         let _ = Coordinate::origin(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn origin_oversized_dimensions_panics() {
+        let _ = Coordinate::origin(MAX_DIMS + 1);
+    }
+
+    #[test]
+    fn accepts_arrays_and_slices_without_allocation() {
+        let from_array = Coordinate::new([3.0, 4.0]).unwrap();
+        let from_vec = Coordinate::new(vec![3.0, 4.0]).unwrap();
+        assert_eq!(from_array, from_vec);
+        let slice: &[f64] = &[3.0, 4.0];
+        assert_eq!(Coordinate::new(slice).unwrap(), from_vec);
     }
 
     #[test]
@@ -353,12 +494,25 @@ mod tests {
     }
 
     #[test]
+    fn in_place_ops_match_by_value_ops() {
+        let a = Coordinate::with_height(vec![1.0, -2.0, 3.0], 1.5).unwrap();
+        let d = Coordinate::with_height(vec![0.5, 0.25, -4.0], 0.0).unwrap();
+        let by_value = a.displaced_by(&d);
+        let mut in_place = a.clone();
+        in_place.displace_by(&d);
+        assert_eq!(by_value, in_place);
+
+        let scaled = a.scale(3.25);
+        let mut scaled_in_place = a.clone();
+        scaled_in_place.scale_in_place(3.25);
+        assert_eq!(scaled, scaled_in_place);
+    }
+
+    #[test]
     fn displacement_clamps_height() {
         let a = Coordinate::with_height(vec![0.0], 1.0).unwrap();
-        let negative_height_displacement = Coordinate {
-            components: vec![1.0],
-            height: -5.0,
-        };
+        let mut negative_height_displacement = Coordinate::new(vec![1.0]).unwrap();
+        negative_height_displacement.height = -5.0;
         let moved = a.displaced_by(&negative_height_displacement);
         assert_eq!(moved.height(), MIN_HEIGHT);
         assert_eq!(moved.components(), &[1.0]);
@@ -378,6 +532,8 @@ mod tests {
         ];
         let c = Coordinate::centroid(&coords).unwrap();
         assert_eq!(c.components(), &[2.0, 2.0]);
+        let by_iter = Coordinate::centroid_iter(coords.iter()).unwrap();
+        assert_eq!(c, by_iter);
     }
 
     #[test]
@@ -387,7 +543,7 @@ mod tests {
         assert_eq!(Coordinate::from_value(&c.to_value()).unwrap(), c);
         // …but payloads violating the invariants are rejected: non-finite
         // components (serialized as null), empty dimension lists, negative
-        // heights.
+        // heights, oversized dimension lists.
         let nan = serde::Value::Map(vec![
             (
                 "components".into(),
@@ -409,6 +565,33 @@ mod tests {
             ("height".into(), serde::Value::Float(-4.0)),
         ]);
         assert!(Coordinate::from_value(&sunken).is_err());
+        let oversized = serde::Value::Map(vec![
+            (
+                "components".into(),
+                serde::Value::Seq(vec![serde::Value::Float(1.0); MAX_DIMS + 1]),
+            ),
+            ("height".into(), serde::Value::Float(0.0)),
+        ]);
+        assert!(Coordinate::from_value(&oversized).is_err());
+    }
+
+    #[test]
+    fn serialized_form_only_carries_active_components() {
+        let c = Coordinate::new(vec![1.0, 2.0]).unwrap();
+        match c.to_value() {
+            serde::Value::Map(fields) => {
+                let components = fields
+                    .iter()
+                    .find(|(k, _)| k == "components")
+                    .map(|(_, v)| v)
+                    .expect("components field");
+                match components {
+                    serde::Value::Seq(items) => assert_eq!(items.len(), 2),
+                    other => panic!("expected a sequence, got {other:?}"),
+                }
+            }
+            other => panic!("expected a map, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,6 +7,12 @@ use serde::{Deserialize, Serialize};
 pub enum CoordinateError {
     /// The coordinate would have zero dimensions.
     Dimension,
+    /// The coordinate would exceed [`crate::coordinate::MAX_DIMS`]
+    /// dimensions (the inline-storage capacity).
+    TooManyDimensions {
+        /// The number of dimensions that was requested.
+        requested: usize,
+    },
     /// A component or height was NaN or infinite.
     NotFinite,
     /// The height was negative.
@@ -17,6 +23,11 @@ impl std::fmt::Display for CoordinateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoordinateError::Dimension => write!(f, "coordinate must have at least one dimension"),
+            CoordinateError::TooManyDimensions { requested } => write!(
+                f,
+                "coordinate limited to {} dimensions, requested {requested}",
+                crate::coordinate::MAX_DIMS
+            ),
             CoordinateError::NotFinite => write!(f, "coordinate components must be finite"),
             CoordinateError::NegativeHeight => write!(f, "coordinate height must be non-negative"),
         }
@@ -60,6 +71,7 @@ mod tests {
     fn display_is_nonempty() {
         for e in [
             CoordinateError::Dimension,
+            CoordinateError::TooManyDimensions { requested: 99 },
             CoordinateError::NotFinite,
             CoordinateError::NegativeHeight,
         ] {

@@ -51,6 +51,6 @@ pub mod error;
 pub mod state;
 
 pub use config::VivaldiConfig;
-pub use coordinate::Coordinate;
+pub use coordinate::{Coordinate, MAX_DIMS};
 pub use error::{relative_error, CoordinateError};
 pub use state::{RemoteObservation, UpdateOutcome, VivaldiState};

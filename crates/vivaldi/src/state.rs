@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::VivaldiConfig;
-use crate::coordinate::Coordinate;
+use crate::coordinate::{self as nc_coordinate, Coordinate};
 use crate::error::{relative_error, MIN_LATENCY_MS};
 
 /// One latency observation of a remote node: the remote coordinate, the
@@ -270,13 +270,16 @@ impl VivaldiState {
         } else {
             let delta = self.config.cc() * ws;
             let force = rtt - predicted;
-            let direction = match self.coordinate.unit_vector_from(remote) {
+            // The direction vector lives entirely on the stack (inline
+            // coordinate) and is scaled and applied in place: the whole
+            // spring step performs zero heap allocations.
+            let mut displacement = match self.coordinate.unit_vector_from(remote) {
                 Some(u) => u,
                 None => self.random_unit_vector(),
             };
-            let displacement = direction.scale(delta * force);
+            displacement.scale_in_place(delta * force);
             let magnitude = displacement.magnitude();
-            self.coordinate = self.coordinate.displaced_by(&displacement);
+            self.coordinate.displace_by(&displacement);
             magnitude
         };
 
@@ -298,10 +301,9 @@ impl VivaldiState {
     /// dependencies while remaining reproducible for a given seed.
     fn random_unit_vector(&mut self) -> Coordinate {
         let dims = self.config.dimensions();
-        let mut components = Vec::with_capacity(dims);
+        let mut components = [0.0; nc_coordinate::MAX_DIMS];
         loop {
-            components.clear();
-            for _ in 0..dims {
+            for slot in components[..dims].iter_mut() {
                 // SplitMix64.
                 self.tie_break_state = self.tie_break_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 let mut z = self.tie_break_state;
@@ -310,12 +312,14 @@ impl VivaldiState {
                 z ^= z >> 31;
                 // Map to (-1, 1).
                 let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
-                components.push(unit * 2.0 - 1.0);
+                *slot = unit * 2.0 - 1.0;
             }
-            let norm: f64 = components.iter().map(|c| c * c).sum::<f64>().sqrt();
+            let norm: f64 = components[..dims].iter().map(|c| c * c).sum::<f64>().sqrt();
             if norm > 1e-6 {
-                return Coordinate::new(components.iter().map(|c| c / norm).collect())
-                    .expect("normalized finite vector");
+                for slot in components[..dims].iter_mut() {
+                    *slot /= norm;
+                }
+                return Coordinate::new(&components[..dims]).expect("normalized finite vector");
             }
         }
     }

@@ -1,0 +1,225 @@
+//! Equivalence suite for the inline (fixed-capacity) `Coordinate`
+//! representation: every algebraic operation must produce **bit-identical**
+//! results to the original `Vec<f64>`-based implementation, reproduced here
+//! as reference functions with the exact arithmetic and iteration order of
+//! the pre-inline code. The coordinate space is milliseconds and downstream
+//! reports are compared byte-for-byte, so "close enough" floats are not
+//! enough — these assertions use exact equality.
+
+use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiConfig, VivaldiState};
+use proptest::prelude::*;
+
+/// The old representation: a heap-allocated component vector plus height.
+#[derive(Debug, Clone, PartialEq)]
+struct VecCoordinate {
+    components: Vec<f64>,
+    height: f64,
+}
+
+impl VecCoordinate {
+    fn of(coordinate: &Coordinate) -> Self {
+        VecCoordinate {
+            components: coordinate.components().to_vec(),
+            height: coordinate.height(),
+        }
+    }
+
+    fn distance(&self, other: &VecCoordinate) -> f64 {
+        let euclid: f64 = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        euclid + self.height + other.height
+    }
+
+    fn magnitude(&self) -> f64 {
+        let euclid: f64 = self.components.iter().map(|c| c * c).sum::<f64>().sqrt();
+        euclid + self.height
+    }
+
+    fn sub(&self, other: &VecCoordinate) -> VecCoordinate {
+        VecCoordinate {
+            components: self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+            height: self.height + other.height,
+        }
+    }
+
+    fn add(&self, other: &VecCoordinate) -> VecCoordinate {
+        VecCoordinate {
+            components: self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            height: (self.height + other.height).max(0.0),
+        }
+    }
+
+    fn scale(&self, factor: f64) -> VecCoordinate {
+        VecCoordinate {
+            components: self.components.iter().map(|c| c * factor).collect(),
+            height: self.height * factor,
+        }
+    }
+
+    fn displaced_by(&self, displacement: &VecCoordinate) -> VecCoordinate {
+        VecCoordinate {
+            components: self
+                .components
+                .iter()
+                .zip(displacement.components.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            height: (self.height + displacement.height).max(0.0),
+        }
+    }
+
+    fn unit_vector_from(&self, other: &VecCoordinate) -> Option<VecCoordinate> {
+        let diff: Vec<f64> = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        let norm: f64 = diff.iter().map(|c| c * c).sum::<f64>().sqrt();
+        if norm <= f64::EPSILON {
+            return None;
+        }
+        Some(VecCoordinate {
+            components: diff.into_iter().map(|c| c / norm).collect(),
+            height: 0.0,
+        })
+    }
+
+    fn centroid(coords: &[VecCoordinate]) -> Option<VecCoordinate> {
+        let first = coords.first()?;
+        let dims = first.components.len();
+        let mut acc = vec![0.0; dims];
+        let mut height = 0.0;
+        for c in coords {
+            for (a, b) in acc.iter_mut().zip(c.components.iter()) {
+                *a += b;
+            }
+            height += c.height;
+        }
+        let n = coords.len() as f64;
+        Some(VecCoordinate {
+            components: acc.into_iter().map(|a| a / n).collect(),
+            height: (height / n).max(0.0),
+        })
+    }
+}
+
+fn exact_eq(inline: &Coordinate, reference: &VecCoordinate) -> bool {
+    inline.components().len() == reference.components.len()
+        && inline
+            .components()
+            .iter()
+            .zip(reference.components.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && inline.height().to_bits() == reference.height.to_bits()
+}
+
+fn coord_strategy(dims: usize) -> impl Strategy<Value = Coordinate> {
+    // One extra generated component doubles as the height (mapped into
+    // [0, 50]); the vendored proptest stand-in has no tuple strategies.
+    proptest::collection::vec(-2000.0f64..2000.0, dims + 1).prop_map(|mut components| {
+        let height = (components.pop().expect("dims + 1 elements") + 2000.0) / 80.0;
+        Coordinate::with_height(components, height).expect("finite components")
+    })
+}
+
+proptest! {
+    #[test]
+    fn distance_matches_reference(a in coord_strategy(3), b in coord_strategy(3)) {
+        let (ra, rb) = (VecCoordinate::of(&a), VecCoordinate::of(&b));
+        prop_assert_eq!(a.distance(&b).to_bits(), ra.distance(&rb).to_bits());
+    }
+
+    #[test]
+    fn magnitude_matches_reference(a in coord_strategy(4)) {
+        let ra = VecCoordinate::of(&a);
+        prop_assert_eq!(a.magnitude().to_bits(), ra.magnitude().to_bits());
+        let reference_euclid: f64 =
+            ra.components.iter().map(|c| c * c).sum::<f64>().sqrt();
+        prop_assert_eq!(a.euclidean_magnitude().to_bits(), reference_euclid.to_bits());
+    }
+
+    #[test]
+    fn sub_add_scale_match_reference(
+        a in coord_strategy(3),
+        b in coord_strategy(3),
+        factor in -10.0f64..10.0,
+    ) {
+        let (ra, rb) = (VecCoordinate::of(&a), VecCoordinate::of(&b));
+        prop_assert!(exact_eq(&a.sub(&b), &ra.sub(&rb)));
+        prop_assert!(exact_eq(&a.add(&b), &ra.add(&rb)));
+        prop_assert!(exact_eq(&a.scale(factor), &ra.scale(factor)));
+    }
+
+    #[test]
+    fn displacement_matches_reference(a in coord_strategy(3), d in coord_strategy(3)) {
+        let (ra, rd) = (VecCoordinate::of(&a), VecCoordinate::of(&d));
+        prop_assert!(exact_eq(&a.displaced_by(&d), &ra.displaced_by(&rd)));
+        // The in-place form agrees with the by-value form.
+        let mut in_place = a.clone();
+        in_place.displace_by(&d);
+        prop_assert_eq!(&in_place, &a.displaced_by(&d));
+    }
+
+    #[test]
+    fn unit_vector_matches_reference(a in coord_strategy(3), b in coord_strategy(3)) {
+        let (ra, rb) = (VecCoordinate::of(&a), VecCoordinate::of(&b));
+        match (a.unit_vector_from(&b), ra.unit_vector_from(&rb)) {
+            (None, None) => {}
+            (Some(inline), Some(reference)) => prop_assert!(exact_eq(&inline, &reference)),
+            (inline, reference) => {
+                prop_assert!(false, "divergence: {:?} vs {:?}", inline, reference)
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_matches_reference(
+        coords in proptest::collection::vec(coord_strategy(3), 1..40)
+    ) {
+        let reference: Vec<VecCoordinate> = coords.iter().map(VecCoordinate::of).collect();
+        let inline = Coordinate::centroid(&coords).expect("non-empty");
+        let expected = VecCoordinate::centroid(&reference).expect("non-empty");
+        prop_assert!(exact_eq(&inline, &expected));
+        // And the iterator form used by the windowed heuristics.
+        let by_iter = Coordinate::centroid_iter(coords.iter()).expect("non-empty");
+        prop_assert_eq!(&by_iter, &inline);
+    }
+
+    #[test]
+    fn vivaldi_trajectories_are_reproducible_across_representations(
+        rtts in proptest::collection::vec(1.0f64..2_000.0, 1..150),
+        seed in 0u64..1_000,
+    ) {
+        // The full update rule on the inline representation is deterministic
+        // and self-consistent: two states fed the identical stream stay in
+        // lockstep bit for bit (this is what the byte-identical SimReport
+        // guarantee rests on).
+        let config = VivaldiConfig::paper_defaults().with_seed(seed);
+        let mut first = VivaldiState::new(config.clone());
+        let mut second = VivaldiState::new(config);
+        let remote = Coordinate::new(vec![25.0, -40.0, 8.0]).unwrap();
+        for &rtt in &rtts {
+            let obs = RemoteObservation::new(remote.clone(), 0.4, rtt);
+            let outcome_a = first.observe(&obs);
+            let outcome_b = second.observe(&obs);
+            prop_assert_eq!(outcome_a, outcome_b);
+            prop_assert_eq!(first.coordinate(), second.coordinate());
+        }
+    }
+}

@@ -49,7 +49,14 @@ impl Criterion {
         let id = id.into();
         let mut bencher = Bencher {
             samples: Vec::new(),
-            iters: self.sample_size.max(5),
+            // An unset sample size (the `Default` construction) measures five
+            // times; an explicit `sample_size(n)` is honoured exactly, so
+            // heavyweight macro-benches can opt into fewer iterations.
+            iters: if self.sample_size == 0 {
+                5
+            } else {
+                self.sample_size
+            },
         };
         f(&mut bencher);
         bencher.report(&id);
