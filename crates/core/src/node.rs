@@ -144,6 +144,11 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     /// Consecutive unanswered probes per peer; drives eviction when
     /// [`NodeConfig::max_consecutive_losses`] is set.
     loss_streaks: FxHashMap<Id, u32>,
+    /// When set, responses that correlate with no pending probe are always
+    /// rejected — even before the first probe is issued. Declared by
+    /// drivers exposed to untrusted traffic (the UDP transport); simulated
+    /// and hand-fed drivers inherit strictness from issuing probes.
+    require_correlation: bool,
 }
 
 impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id> {
@@ -193,6 +198,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             gossip_cursor: 0,
             pending: Vec::new(),
             loss_streaks: FxHashMap::default(),
+            require_correlation: false,
         }
     }
 
@@ -295,6 +301,21 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         self.identity = Some(id);
     }
 
+    /// Declares that every response must correlate with an outstanding
+    /// probe, even before this node has issued its first one. Without this,
+    /// the uncorrelated-reply rejection only arms once a probe has been
+    /// issued through the engine (so drivers that hand-feed responses keep
+    /// working); a driver exposed to untrusted traffic — a listening UDP
+    /// node that has not probed yet — must opt in explicitly or a forged
+    /// response arriving before its first probe would be digested.
+    ///
+    /// Not part of the snapshot: the driver declares it again after
+    /// [`restore`](StableNode::restore), exactly like
+    /// [`set_identity`](StableNode::set_identity).
+    pub fn require_correlated_responses(&mut self) {
+        self.require_correlation = true;
+    }
+
     /// Re-derives the nearest neighbour from the full table (minimum
     /// filtered RTT over every observed link).
     fn recompute_nearest_neighbor(&mut self) {
@@ -326,9 +347,15 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         if self.membership.is_empty() {
             return None;
         }
-        let idx = self.probe_cursor % self.membership.len();
-        self.probe_cursor = self.probe_cursor.wrapping_add(1);
-        let target = self.membership[idx].clone();
+        // The cursor is an in-range index into the schedule, not a
+        // free-running counter: an eviction shifts it back in step (see
+        // `evict`), so membership churn mid-cycle neither skips nor repeats
+        // the surviving peers.
+        if self.probe_cursor >= self.membership.len() {
+            self.probe_cursor = 0;
+        }
+        let target = self.membership[self.probe_cursor].clone();
+        self.probe_cursor += 1;
         Some(self.probe_request_for(target, now_ms))
     }
 
@@ -416,23 +443,52 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// [`handle_timeout`](StableNode::handle_timeout) for each. Drivers
     /// without per-probe timers call this once per tick.
     pub fn expire_pending(&mut self, now_ms: u64, timeout_ms: u64) -> Vec<Event<Id>> {
-        let expired: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|probe| probe.sent_at_ms.saturating_add(timeout_ms) <= now_ms)
-            .map(|probe| probe.seq)
-            .collect();
         let mut events = Vec::new();
-        for seq in expired {
-            self.handle_timeout_into(seq, &mut events);
-        }
+        self.expire_pending_into(now_ms, timeout_ms, &mut events);
         events
+    }
+
+    /// Buffer-reusing form of [`expire_pending`](StableNode::expire_pending):
+    /// appends the resulting events to `events` instead of allocating fresh
+    /// vectors. Tick-driven drivers (the UDP transport's timer wheel) call
+    /// this every few milliseconds, so the common no-probe-due case must not
+    /// touch the heap.
+    pub fn expire_pending_into(
+        &mut self,
+        now_ms: u64,
+        timeout_ms: u64,
+        events: &mut Vec<Event<Id>>,
+    ) {
+        // One probe is expired per scan: `handle_timeout_into` may evict a
+        // peer and with it *several* pending entries, so positions cannot be
+        // carried across iterations. Expiry is rare (the steady state scans
+        // once and finds nothing), so the rescan costs nothing in practice.
+        loop {
+            let Some(seq) = self
+                .pending
+                .iter()
+                .find(|probe| probe.sent_at_ms.saturating_add(timeout_ms) <= now_ms)
+                .map(|probe| probe.seq)
+            else {
+                return;
+            };
+            self.handle_timeout_into(seq, events);
+        }
     }
 
     /// Removes a peer from every table: membership, neighbours, filters,
     /// pending probes and loss streaks.
     fn evict(&mut self, id: &Id) {
-        self.membership.retain(|member| member != id);
+        if let Some(position) = self.membership.iter().position(|member| member == id) {
+            self.membership.remove(position);
+            // Keep the round-robin cursor pointing at the same *next* peer:
+            // removing an entry the cursor has already passed would
+            // otherwise make the rotation skip the peer now occupying the
+            // vacated slot.
+            if position < self.probe_cursor {
+                self.probe_cursor -= 1;
+            }
+        }
         self.neighbors.remove(id);
         self.filters.remove(id);
         self.pending.retain(|probe| probe.target != *id);
@@ -536,14 +592,35 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         if self.identity.as_ref() == Some(&response.responder) {
             return;
         }
-        // The reply settles the matching outstanding probe (if the driver is
-        // using the pending-probe machinery) and proves the peer alive.
-        if let Some(position) = self
+        // The reply settles the matching outstanding probe and proves the
+        // peer alive. A reply that matches *no* outstanding probe — one that
+        // arrives after its probe already timed out, a duplicated datagram,
+        // or an unsolicited/spoofed response — must not be digested: its
+        // observation was either already accounted as a loss or never
+        // requested, its RTT stamp is stale, and applying it would
+        // double-count the exchange and wrongly clear the loss streak. Such
+        // replies are reported as [`Event::ResponseIgnored`] and dropped
+        // whole (gossip included: an uncorrelated sender is not a trusted
+        // membership source). The check only arms once the node has issued a
+        // probe through the engine (`probe_request_for` / `next_probe`);
+        // drivers that feed hand-built responses without the pending-probe
+        // machinery keep the lenient legacy behaviour.
+        match self
             .pending
             .iter()
             .position(|probe| probe.seq == response.seq && probe.target == response.responder)
         {
-            self.pending.remove(position);
+            Some(position) => {
+                self.pending.remove(position);
+            }
+            None if self.require_correlation || self.probe_seq > 0 => {
+                events.push(Event::ResponseIgnored {
+                    id: response.responder.clone(),
+                    seq: response.seq,
+                });
+                return;
+            }
+            None => {}
         }
         self.loss_streaks.remove(&response.responder);
         if self.register_member(response.responder.clone()) {
@@ -614,8 +691,12 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     }
 
     /// Batch path: digests many responses in order and returns the
-    /// concatenated event stream. Useful for replaying queued or logged
-    /// responses after a restore.
+    /// concatenated event stream. Useful for draining a backlog of
+    /// responses that were delivered together (a socket's receive queue, a
+    /// trace segment). Note that each response is still subject to the
+    /// correlation rules: a response whose probe already timed out or was
+    /// settled produces only [`Event::ResponseIgnored`], so replaying
+    /// *already-digested* responses is not a way to rebuild state.
     pub fn handle_many<'a, I>(&mut self, responses: I) -> Vec<Event<Id>>
     where
         Id: 'a,
@@ -747,7 +828,13 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         node.observations = snapshot.observations;
         node.identity = snapshot.identity.clone();
         node.membership = snapshot.membership.clone();
-        node.probe_cursor = snapshot.probe_cursor;
+        // Snapshots written before the rotation became churn-stable carry a
+        // free-running counter; reducing it modulo the schedule length lands
+        // on the same next peer either way.
+        node.probe_cursor = match node.membership.len() {
+            0 => 0,
+            len => snapshot.probe_cursor % len,
+        };
         node.probe_seq = snapshot.probe_seq;
         node.gossip_cursor = snapshot.gossip_cursor;
         node.pending = snapshot.pending.clone();
@@ -1175,7 +1262,11 @@ mod tests {
             Event::ObservationFiltered { id: 1, raw_rtt_ms } if raw_rtt_ms == 80.0
         ));
 
-        // Second sample passes the filter and moves the coordinate.
+        // Second sample (a fresh probe, not a replay of the settled one)
+        // passes the filter and moves the coordinate.
+        let request = node.probe_request_for(1, 1);
+        let mut response = ProbeResponse::new(1, &request, remote, 0.5);
+        response.rtt_ms = 80.0;
         let events = node.handle_response(&response);
         assert!(events.iter().any(|e| matches!(
             e,
@@ -1535,6 +1626,197 @@ mod tests {
         assert_eq!(node.loss_streak(&7), 0);
         // The rest of the schedule is untouched.
         assert_eq!(node.next_probe(0).unwrap().target, 8);
+    }
+
+    #[test]
+    fn late_reply_after_timeout_is_ignored() {
+        // Headline regression: the probe times out (the loss is recorded),
+        // then its reply straggles in. The engine must report it as ignored
+        // and leave every bit of filter/coordinate/streak state untouched —
+        // digesting it would double-count the exchange with a stale RTT.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let request = node.probe_request_for(1, 0);
+        node.handle_timeout(request.seq);
+        assert_eq!(node.loss_streak(&1), 1);
+
+        let mut late = ProbeResponse::new(1, &request, remote, 0.5);
+        late.rtt_ms = 40.0;
+        let events = node.handle_response(&late);
+        assert_eq!(
+            events,
+            vec![Event::ResponseIgnored {
+                id: 1,
+                seq: request.seq
+            }]
+        );
+        assert_eq!(node.observations(), 0, "no observation was digested");
+        assert_eq!(node.system_coordinate(), &Coordinate::origin(3));
+        assert!(
+            node.neighbors().next().is_none(),
+            "the stale coordinate was not stored"
+        );
+        assert_eq!(
+            node.loss_streak(&1),
+            1,
+            "an ignored reply must not clear the loss streak"
+        );
+    }
+
+    #[test]
+    fn duplicate_reply_is_ignored() {
+        // Headline regression: the same reply delivered twice (a duplicated
+        // datagram) is applied exactly once. The duplicate produces
+        // `ResponseIgnored` and changes nothing.
+        let config = NodeConfig::builder().filter(FilterConfig::Raw).build();
+        let mut node = StableNode::<u32>::new(config);
+        let remote = Coordinate::new(vec![10.0, 0.0, 0.0]).unwrap();
+        let request = node.probe_request_for(1, 0);
+        let mut response = ProbeResponse::new(1, &request, remote, 0.5);
+        response.rtt_ms = 40.0;
+
+        let first = node.handle_response(&response);
+        assert!(first
+            .iter()
+            .any(|e| matches!(e, Event::SystemMoved { id: 1, .. })));
+        let coordinate = node.system_coordinate().clone();
+        let observations = node.observations();
+
+        let duplicate = node.handle_response(&response);
+        assert_eq!(
+            duplicate,
+            vec![Event::ResponseIgnored {
+                id: 1,
+                seq: request.seq
+            }]
+        );
+        assert_eq!(node.system_coordinate(), &coordinate);
+        assert_eq!(node.observations(), observations);
+    }
+
+    #[test]
+    fn unsolicited_reply_is_ignored_once_probing_started() {
+        // A response from a peer that was never probed (spoofed, or routed
+        // to the wrong node) is dropped — including its gossip payload: an
+        // uncorrelated sender must not be able to poison the membership.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        node.probe_request_for(1, 0);
+        let forged_request = ProbeRequest::new(99, 1_000, 0);
+        let mut forged = ProbeResponse::new(99, &forged_request, Coordinate::origin(3), 0.5)
+            .with_gossip(GossipEntry {
+                id: 55,
+                coordinate: Coordinate::origin(3),
+                error_estimate: 0.5,
+            });
+        forged.rtt_ms = 1.0;
+        let events = node.handle_response(&forged);
+        assert_eq!(events, vec![Event::ResponseIgnored { id: 99, seq: 1_000 }]);
+        assert!(!node.membership().contains(&99));
+        assert!(!node.membership().contains(&55), "gossip was not ingested");
+    }
+
+    #[test]
+    fn required_correlation_protects_a_node_that_never_probed() {
+        // A listening deployment node (no seeds, never probed anyone yet)
+        // must not digest forged responses during the window before its
+        // first probe: drivers exposed to untrusted traffic declare
+        // strictness explicitly.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        node.require_correlated_responses();
+        let forged_request = ProbeRequest::new(9, 0, 0);
+        let mut forged = ProbeResponse::new(9, &forged_request, Coordinate::origin(3), 0.5);
+        forged.rtt_ms = 1.0;
+        let events = node.handle_response(&forged);
+        assert_eq!(events, vec![Event::ResponseIgnored { id: 9, seq: 0 }]);
+        assert_eq!(node.observations(), 0);
+        assert!(node.neighbors().next().is_none());
+        assert!(node.membership().is_empty());
+    }
+
+    #[test]
+    fn correlation_requires_matching_responder_not_just_seq() {
+        // A reply echoing a live sequence number but claiming a different
+        // responder must not settle the real probe.
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        let request = node.probe_request_for(1, 0);
+        let mut crossed = ProbeResponse::new(2, &request, Coordinate::origin(3), 0.5);
+        crossed.rtt_ms = 40.0;
+        let events = node.handle_response(&crossed);
+        assert_eq!(
+            events,
+            vec![Event::ResponseIgnored {
+                id: 2,
+                seq: request.seq
+            }]
+        );
+        assert_eq!(node.pending_probes().len(), 1, "the real probe still waits");
+    }
+
+    #[test]
+    fn rotation_stays_churn_stable_across_mid_cycle_eviction() {
+        // Satellite regression: evicting a peer mid-cycle must neither skip
+        // nor repeat any surviving peer for the rest of the cycle.
+        let config = NodeConfig::builder().max_consecutive_losses(1).build();
+        let mut node = StableNode::<u32>::new(config);
+        for peer in [10, 11, 12, 13, 14] {
+            node.seed_neighbor(peer);
+        }
+        // Probe 10 and 11, then evict 10 (already behind the cursor).
+        assert_eq!(node.next_probe(0).unwrap().target, 10);
+        let lost = node.next_probe(1).unwrap();
+        assert_eq!(lost.target, 11);
+        let doomed = node.probe_request_for(10, 2);
+        let events = node.handle_timeout(doomed.seq);
+        assert!(events.contains(&Event::NeighborEvicted { id: 10 }));
+
+        // The rest of the cycle visits exactly the not-yet-probed survivors.
+        let rest: Vec<u32> = (0..3)
+            .map(|t| node.next_probe(3 + t).unwrap().target)
+            .collect();
+        assert_eq!(rest, vec![12, 13, 14], "no skip, no repeat after eviction");
+        // And the next full cycle covers every survivor exactly once.
+        let cycle: Vec<u32> = (0..4)
+            .map(|t| node.next_probe(10 + t).unwrap().target)
+            .collect();
+        assert_eq!(cycle, vec![11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn rotation_survives_evicting_the_peer_under_the_cursor() {
+        // Eviction of the peer the cursor points at just moves on to the
+        // next survivor; eviction of the last member wraps cleanly.
+        let config = NodeConfig::builder().max_consecutive_losses(1).build();
+        let mut node = StableNode::<u32>::new(config);
+        for peer in [20, 21, 22] {
+            node.seed_neighbor(peer);
+        }
+        assert_eq!(node.next_probe(0).unwrap().target, 20);
+        // Cursor now points at 21; evict it.
+        let doomed = node.probe_request_for(21, 1);
+        node.handle_timeout(doomed.seq);
+        assert_eq!(node.next_probe(2).unwrap().target, 22);
+        assert_eq!(node.next_probe(3).unwrap().target, 20);
+
+        // Evict 22 (now *behind* a wrapped cursor position) and keep going.
+        let doomed = node.probe_request_for(22, 4);
+        node.handle_timeout(doomed.seq);
+        assert_eq!(node.next_probe(5).unwrap().target, 20);
+        assert_eq!(node.next_probe(6).unwrap().target, 20);
+    }
+
+    #[test]
+    fn expire_pending_into_reuses_the_caller_buffer() {
+        let mut node = Node::new(NodeConfig::paper_defaults());
+        node.probe_request_for(1, 0);
+        node.probe_request_for(2, 10_000);
+        let mut events = Vec::new();
+        node.expire_pending_into(20_000, 5_000, &mut events);
+        assert_eq!(events.len(), 2, "both probes are stale: {events:?}");
+        // The buffer is appended to, not cleared behind the caller's back.
+        node.probe_request_for(3, 30_000);
+        node.expire_pending_into(40_000, 5_000, &mut events);
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[2], Event::ProbeLost { id: 3, .. }));
     }
 
     #[test]

@@ -117,6 +117,44 @@ fn steady_state_filter_observe_performs_zero_allocations() {
 }
 
 #[test]
+fn steady_state_expire_pending_performs_zero_allocations() {
+    // The transport's timer wheel calls `expire_pending_into` every few
+    // milliseconds; almost every call finds nothing due. Neither the empty
+    // scan nor an actual expiry (with warmed buffers and an existing streak
+    // entry) may touch the allocator.
+    let mut node: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
+    let mut events: Vec<Event<usize>> = Vec::with_capacity(32);
+
+    // Warm up: register the peer, create its loss-streak entry via one real
+    // timeout, and let the pending table reach its working size.
+    for step in 0..16u64 {
+        let request = node.probe_request_for(7, step);
+        node.handle_timeout_into(request.seq, &mut events);
+    }
+    events.clear();
+    for step in 0..4u64 {
+        node.probe_request_for(7, 1_000 + step);
+    }
+
+    let (allocations, _) = allocations_during(|| {
+        // The common case: nothing is due.
+        for tick in 0..1_000u64 {
+            node.expire_pending_into(1_500 + tick, 10_000, &mut events);
+            std::hint::black_box(&events);
+        }
+        assert!(events.is_empty());
+        // An actual expiry sweep over the warmed table.
+        node.expire_pending_into(1_000_000, 1_000, &mut events);
+        std::hint::black_box(&events);
+    });
+    assert_eq!(events.len(), 4, "all four pending probes expired");
+    assert_eq!(
+        allocations, 0,
+        "steady-state expire_pending_into must not allocate"
+    );
+}
+
+#[test]
 fn steady_state_wire_exchange_performs_zero_allocations() {
     // The driver-facing form the simulator uses: probe → respond_into →
     // handle_response_into with reused buffers end to end.

@@ -182,9 +182,12 @@ impl LinkModel {
         shifts.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite times"));
         // Drawn only when configured so that the rng stream — and therefore
         // every downstream jitter/outlier sample — is unchanged for
-        // symmetric links (the pre-existing workloads).
+        // symmetric links (the pre-existing workloads). The closed interval
+        // `[-a, a]` matches the `delay_asymmetry` contract: both extremes
+        // (forward path carrying the whole asymmetry either way) are
+        // admissible routes.
         let asymmetry_factor = if config.delay_asymmetry > 0.0 {
-            rng.gen_range(-config.delay_asymmetry..config.delay_asymmetry)
+            rng.gen_range(-config.delay_asymmetry..=config.delay_asymmetry)
         } else {
             0.0
         };
@@ -392,6 +395,31 @@ mod tests {
             }
         }
         assert!(found_asymmetric, "some links should be visibly asymmetric");
+    }
+
+    #[test]
+    fn asymmetry_factor_stays_in_the_documented_closed_interval() {
+        // The `delay_asymmetry` contract promises a factor in the *closed*
+        // interval `[-a, a]`: both extremes are admissible routes and the
+        // sampling is inclusive. Recover the drawn factor from the one-way
+        // split ( fwd = rtt/2·(1+f), rev = rtt/2·(1−f) ⇒ f = (fwd−rev)/rtt )
+        // across many links and pin the bound.
+        let a = 0.25;
+        let config = LinkModelConfig::default().with_delay_asymmetry(a);
+        let mut max_magnitude: f64 = 0.0;
+        for seed in 0..512 {
+            let m = LinkModel::new(80.0, config.clone(), 3600.0, seed);
+            let (fwd, rev) = m.one_way_split(100.0);
+            let factor = (fwd - rev) / 100.0;
+            assert!(
+                (-a..=a).contains(&factor),
+                "factor {factor} escaped [-{a}, {a}] (seed {seed})"
+            );
+            max_magnitude = max_magnitude.max(factor.abs());
+        }
+        // The draws genuinely range over the interval rather than
+        // collapsing near zero.
+        assert!(max_magnitude > 0.9 * a, "max |factor| {max_magnitude}");
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub struct NodeMetrics {
     /// run — a fully dead link produces no accepted observations to gate a
     /// measurement window on.
     pub probes_lost: u64,
+    /// Number of probe replies this node dropped because they correlated
+    /// with no outstanding probe — replies that arrived after their probe
+    /// already timed out (an RTT beyond the probe timeout), duplicated
+    /// datagrams, or replies from evicted peers. Counted over the whole run,
+    /// like losses.
+    pub responses_ignored: u64,
 }
 
 impl NodeMetrics {
@@ -288,6 +294,13 @@ impl ConfigMetrics {
         self.nodes.iter().map(|n| n.probes_lost).sum()
     }
 
+    /// Total uncorrelated probe replies dropped across all nodes over the
+    /// whole run (late arrivals after a timeout, duplicates, replies from
+    /// evicted peers).
+    pub fn total_responses_ignored(&self) -> u64 {
+        self.nodes.iter().map(|n| n.responses_ignored).sum()
+    }
+
     /// Median of every system-level relative error sampled in `[from_s,
     /// to_s)`, pooled across nodes. This is the number the churn acceptance
     /// criterion compares pre-crash against end-of-run.
@@ -385,6 +398,7 @@ mod tests {
             application_displacements: vec![(0.0, 1.0)],
             observations: errors.len() as u64,
             probes_lost: 0,
+            responses_ignored: 0,
         }
     }
 

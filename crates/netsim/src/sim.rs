@@ -720,6 +720,9 @@ fn fold_events(metrics: &mut NodeMetrics, time_s: f64, measuring: bool, events: 
             Event::ProbeLost { .. } => {
                 metrics.probes_lost += 1;
             }
+            Event::ResponseIgnored { .. } => {
+                metrics.responses_ignored += 1;
+            }
             _ => {}
         }
     }
@@ -1089,8 +1092,14 @@ impl EngineState {
             for (run, response) in runs.iter_mut().zip(slots[slot].responses.iter()) {
                 events_scratch.clear();
                 run.nodes[src].handle_response_into(response, events_scratch);
+                // A reply the engine refused to correlate (it raced its own
+                // timeout, or the peer was evicted meanwhile) is not an
+                // observation — it was already accounted as a loss.
+                let ignored = events_scratch
+                    .iter()
+                    .any(|event| matches!(event, Event::ResponseIgnored { .. }));
                 let node_metrics = &mut run.metrics.nodes[src];
-                if measuring {
+                if measuring && !ignored {
                     node_metrics.observations += 1;
                 }
                 fold_events(node_metrics, now, measuring, events_scratch);

@@ -84,6 +84,21 @@ pub enum Event<Id> {
         /// The evicted peer.
         id: Id,
     },
+    /// A probe response arrived that correlates with no outstanding probe —
+    /// a reply delivered after its probe already timed out, a duplicated
+    /// datagram, or an unsolicited/spoofed response. The engine dropped it
+    /// without touching any filter, coordinate or loss-streak state: the
+    /// observation it carries was either already accounted as a loss or
+    /// never requested, and its RTT stamp cannot be trusted. Only emitted
+    /// by nodes that issue probes through the engine (the pending-probe
+    /// machinery); drivers feeding hand-built responses without it keep the
+    /// lenient legacy behaviour.
+    ResponseIgnored {
+        /// The peer the response claims to come from.
+        id: Id,
+        /// Sequence number the response echoed.
+        seq: u64,
+    },
 }
 
 impl<Id> Event<Id> {
@@ -95,7 +110,8 @@ impl<Id> Event<Id> {
             | Event::ObservationRejected { id, .. }
             | Event::SystemMoved { id, .. }
             | Event::ProbeLost { id, .. }
-            | Event::NeighborEvicted { id } => Some(id),
+            | Event::NeighborEvicted { id }
+            | Event::ResponseIgnored { id, .. } => Some(id),
             Event::ApplicationUpdated { .. } => None,
         }
     }
@@ -139,6 +155,19 @@ mod tests {
         assert!(!lost.is_application_update());
         let evicted: Event<u32> = Event::NeighborEvicted { id: 9 };
         assert_eq!(evicted.peer(), Some(&9));
+    }
+
+    #[test]
+    fn ignored_responses_name_their_peer_and_round_trip() {
+        let ignored: Event<u32> = Event::ResponseIgnored { id: 5, seq: 17 };
+        assert_eq!(ignored.peer(), Some(&5));
+        assert!(!ignored.is_application_update());
+        let wire: Event<String> = Event::ResponseIgnored {
+            id: "peer".into(),
+            seq: 17,
+        };
+        let back: Event<String> = serde::json::from_str(&serde::json::to_string(&wire)).unwrap();
+        assert_eq!(back, wire);
     }
 
     #[test]

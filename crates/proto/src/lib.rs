@@ -23,7 +23,10 @@
 //! All messages serialize through [`WireMessage`] to JSON with an explicit
 //! [`PROTOCOL_VERSION`] tag; decoding a message produced by a different
 //! protocol version fails with [`WireError::VersionMismatch`] instead of
-//! misinterpreting fields.
+//! misinterpreting fields. For real datagrams and snapshot files there is
+//! additionally a canonical, compact **binary** form behind
+//! [`BinaryMessage`] (with [`Packet`] demultiplexing a single socket's
+//! incoming traffic); its byte-by-byte layout is specified in [`binary`].
 //!
 //! # Example: one request/response exchange on the wire
 //!
@@ -52,10 +55,12 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod binary;
 pub mod event;
 pub mod snapshot;
 pub mod wire;
 
+pub use binary::{BinaryMessage, Packet, WireId};
 pub use event::Event;
 pub use snapshot::{LinkSnapshot, NodeSnapshot, PendingProbe};
 pub use wire::{

@@ -1,0 +1,58 @@
+//! The transport's monotonic clock.
+//!
+//! The sans-I/O engine never reads a clock; every timestamp it sees is a
+//! driver-supplied `u64` of milliseconds. [`MonoClock`] is the transport's
+//! source for those values: a process-local monotonic origin, immune to
+//! wall-clock steps (NTP, suspend/resume would still pause it, which is the
+//! right failure mode — a paused node's probes time out and that is true).
+//!
+//! Round-trip times are *not* computed from this millisecond clock: the
+//! runtime keeps the [`std::time::Instant`] each probe left at and stamps
+//! the reply with the sub-millisecond elapsed time, so loopback and LAN
+//! RTTs keep their precision.
+
+use std::time::Instant;
+
+/// A monotonic millisecond clock anchored at its creation.
+#[derive(Debug, Clone, Copy)]
+pub struct MonoClock {
+    origin: Instant,
+}
+
+impl MonoClock {
+    /// Creates a clock reading `0` now.
+    pub fn new() -> Self {
+        MonoClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since the clock was created.
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+impl Default for MonoClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_starts_near_zero() {
+        let clock = MonoClock::new();
+        let first = clock.now_ms();
+        assert!(first < 1_000, "a fresh clock reads near zero: {first}");
+        let mut last = first;
+        for _ in 0..100 {
+            let now = clock.now_ms();
+            assert!(now >= last);
+            last = now;
+        }
+    }
+}

@@ -13,6 +13,10 @@
 //!   individual building blocks, usable on their own.
 //! * [`nc_netsim`] — the synthetic PlanetLab-style workload and simulator
 //!   used by the evaluation (itself a driver of the sans-I/O engine).
+//! * [`nc_transport`] — the deployment layer: a threaded UDP runtime
+//!   driving the engine over real sockets (binary datagrams, snapshot
+//!   persistence, the `nc-node` binary) plus a delay-injecting loopback
+//!   harness for tests and demos.
 //! * [`nc_experiments`] — the harness that regenerates every table and
 //!   figure of the paper.
 //!
@@ -48,6 +52,7 @@ pub use nc_filters;
 pub use nc_netsim;
 pub use nc_proto;
 pub use nc_stats;
+pub use nc_transport;
 pub use nc_vivaldi;
 pub use stable_nc;
 
