@@ -5,16 +5,30 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p nc-bench --release --bin bench_report           # full run
+//! cargo run -p nc-bench --release --bin bench_report                   # full run
 //! cargo run -p nc-bench --release --bin bench_report -- --quick
+//! cargo run -p nc-bench --release --bin bench_report -- --check --quick
+//! cargo run -p nc-bench --release --bin bench_report -- --threads 4
+//! cargo run -p nc-bench --release --bin bench_report -- --huge
 //! ```
 //!
 //! The full run measures the 256-node hour (median of 3), its lossy/churn
-//! variant (median of 3) and the 4096-node hour (1 iteration, ~30 s);
-//! `--quick` runs single iterations of the 256-node workloads only. The
-//! JSON maps bench name → median nanoseconds, node count and approximate
-//! simulator events per second, and embeds the frozen pre-PR-3 baseline for
+//! variant (median of 3), the 4096-node hour and the 16,384-node hour (1
+//! iteration each); `--quick` runs single iterations of the 256-node
+//! workloads only, and `--huge` adds a 65,536-node hour. The JSON maps
+//! bench name → median nanoseconds, node count and approximate simulator
+//! events per second, and embeds the frozen pre-PR-3 baseline for
 //! before/after comparison.
+//!
+//! `--check` compares fresh medians against the committed `BENCH_sim.json`
+//! instead of rewriting it: any measured bench more than the threshold
+//! slower than its recorded median (default 15 %, `--threshold <percent>`)
+//! fails the run with exit code 1. CI invokes `--check --quick` as a
+//! regression smoke test.
+//!
+//! `--threads N` (or the `NC_BENCH_THREADS` environment variable) runs
+//! every simulation through the node-sharded executor
+//! (`Simulator::with_threads`); the flag wins over the environment.
 
 use std::time::Instant;
 
@@ -27,6 +41,10 @@ use stable_nc::NodeConfig;
 /// One simulated hour at the paper's deployment probe interval.
 const DURATION_S: f64 = 3_600.0;
 const PROBE_INTERVAL_S: f64 = 5.0;
+
+/// Default `--check` regression threshold, as a fraction of the recorded
+/// median.
+const DEFAULT_CHECK_THRESHOLD: f64 = 0.15;
 
 /// Baselines frozen immediately before PR 3 (allocation-free hot path),
 /// measured as the mean of 10 samples of `cargo bench -p nc-bench --bench
@@ -52,7 +70,7 @@ fn approx_events(nodes: u64) -> f64 {
     nodes as f64 * ticks * 4.0
 }
 
-fn run_sim(nodes: usize, lossy_churn: bool) -> std::time::Duration {
+fn run_sim(nodes: usize, lossy_churn: bool, threads: Option<usize>) -> std::time::Duration {
     let start = Instant::now();
     let mut workload = PlanetLabConfig::small(nodes).with_seed(20050502);
     if lossy_churn {
@@ -69,6 +87,9 @@ fn run_sim(nodes: usize, lossy_churn: bool) -> std::time::Duration {
         let crashed: Vec<usize> = (0..nodes / 4).collect();
         simulator = simulator.with_scenario(Scenario::crash_restart(crashed, 1_200.0, 1_500.0));
     }
+    if let Some(threads) = threads {
+        simulator = simulator.with_threads(threads);
+    }
     let report = simulator.run();
     std::hint::black_box(report);
     start.elapsed()
@@ -79,10 +100,16 @@ fn median_ns(mut samples: Vec<f64>) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn measure(name: &'static str, nodes: u64, iterations: usize, lossy_churn: bool) -> BenchResult {
+fn measure(
+    name: &'static str,
+    nodes: u64,
+    iterations: usize,
+    lossy_churn: bool,
+    threads: Option<usize>,
+) -> BenchResult {
     let mut samples = Vec::with_capacity(iterations);
     for iteration in 0..iterations {
-        let elapsed = run_sim(nodes as usize, lossy_churn);
+        let elapsed = run_sim(nodes as usize, lossy_churn, threads);
         eprintln!("  {name} iteration {}: {elapsed:?}", iteration + 1);
         samples.push(elapsed.as_nanos() as f64);
     }
@@ -95,25 +122,153 @@ fn measure(name: &'static str, nodes: u64, iterations: usize, lossy_churn: bool)
     }
 }
 
+/// Pulls `"<name>": { "median_ns": <value> ... }` out of the committed
+/// report. The file is written by this binary with one bench per line, so a
+/// line scan is enough — no JSON parser dependency needed here.
+fn recorded_median(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    for line in json.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix(&needle) {
+            let rest = rest.split("\"median_ns\":").nth(1)?;
+            let value: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    // The workspace root is two levels above this crate's manifest.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
 fn main() {
-    let quick = std::env::args().any(|arg| arg == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|arg| arg == "--quick");
+    let check = args.iter().any(|arg| arg == "--check");
+    let huge = args.iter().any(|arg| arg == "--huge");
+    let threshold = args
+        .iter()
+        .position(|arg| arg == "--threshold")
+        .map(|index| {
+            args.get(index + 1)
+                .and_then(|value| value.parse::<f64>().ok())
+                .expect("--threshold takes a percentage, e.g. --threshold 15")
+                / 100.0
+        })
+        .unwrap_or(DEFAULT_CHECK_THRESHOLD);
+    let threads: Option<usize> = args
+        .iter()
+        .position(|arg| arg == "--threads")
+        .map(|index| {
+            args.get(index + 1)
+                .and_then(|value| value.parse().ok())
+                .expect("--threads takes a worker count, e.g. --threads 4")
+        })
+        .or_else(|| {
+            std::env::var("NC_BENCH_THREADS")
+                .ok()
+                .map(|value| value.parse().expect("NC_BENCH_THREADS must be a number"))
+        });
     let iterations = if quick { 1 } else { 3 };
 
     eprintln!(
-        "bench_report: measuring macro benches ({} iterations each) ...",
-        iterations
+        "bench_report: measuring macro benches ({} iterations each{}) ...",
+        iterations,
+        match threads {
+            Some(threads) => format!(", sharded over {threads} threads"),
+            None => String::new(),
+        }
     );
     let mut results = vec![
-        measure("event_sim/one_hour_256_nodes", 256, iterations, false),
+        measure(
+            "event_sim/one_hour_256_nodes",
+            256,
+            iterations,
+            false,
+            threads,
+        ),
         measure(
             "event_sim/one_hour_256_nodes_lossy_churn",
             256,
             iterations,
             true,
+            threads,
         ),
     ];
     if !quick {
-        results.push(measure("event_sim/one_hour_4096_nodes", 4096, 1, false));
+        results.push(measure(
+            "event_sim/one_hour_4096_nodes",
+            4096,
+            1,
+            false,
+            threads,
+        ));
+        results.push(measure(
+            "event_sim/one_hour_16384_nodes",
+            16384,
+            1,
+            false,
+            threads,
+        ));
+    }
+    if huge {
+        results.push(measure(
+            "event_sim/one_hour_65536_nodes",
+            65536,
+            1,
+            false,
+            threads,
+        ));
+    }
+
+    let root = workspace_root();
+    let path = root.join("BENCH_sim.json");
+
+    if check {
+        let recorded = std::fs::read_to_string(&path)
+            .unwrap_or_else(|error| panic!("--check needs {}: {error}", path.display()));
+        let mut failures = 0;
+        for result in &results {
+            let Some(median) = recorded_median(&recorded, result.name) else {
+                eprintln!("  {}: not in BENCH_sim.json, skipping", result.name);
+                continue;
+            };
+            let ratio = result.median_ns / median;
+            let verdict = if ratio > 1.0 + threshold {
+                failures += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "  {}: fresh {:.0} ns vs recorded {:.0} ns ({:+.1} %) {verdict}",
+                result.name,
+                result.median_ns,
+                median,
+                (ratio - 1.0) * 100.0
+            );
+        }
+        if failures > 0 {
+            eprintln!(
+                "bench_report --check: {failures} bench(es) regressed more than {:.0} %",
+                threshold * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_report --check: all benches within {:.0} % of BENCH_sim.json",
+            threshold * 100.0
+        );
+        return;
     }
 
     let mut json = String::new();
@@ -143,13 +298,6 @@ fn main() {
     }
     json.push_str("  }\n}\n");
 
-    // The workspace root is two levels above this crate's manifest.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench sits two levels below the workspace root")
-        .to_path_buf();
-    let path = root.join("BENCH_sim.json");
     std::fs::write(&path, &json).expect("write BENCH_sim.json");
     eprintln!("wrote {}", path.display());
     print!("{json}");

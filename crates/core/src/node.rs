@@ -8,7 +8,7 @@ use std::hash::Hash;
 use nc_change::{ApplicationCoordinate, ApplicationUpdate, HeuristicStateMismatch, UpdateContext};
 
 use crate::fxhash::FxHashMap;
-use nc_filters::{LatencyFilter, StateMismatch};
+use nc_filters::{FilterState, LatencyFilter, MovingPercentileFilter, StateMismatch};
 use nc_proto::{
     Event, GossipEntry, LinkSnapshot, NodeSnapshot, PendingProbe, ProbeRequest, ProbeResponse,
     PROTOCOL_VERSION,
@@ -98,6 +98,113 @@ impl std::fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
+/// Everything the engine tracks about one peer, kept in a single map entry
+/// so the per-response hot path (streak reset, membership check, gossip
+/// seeding, filter update, neighbour refresh) touches one hash slot instead
+/// of four separate tables. At thousands of peers per node the engine's
+/// working set no longer fits in cache, and every extra table costs a
+/// dependent DRAM miss per digested response — consolidating the layout is
+/// what flattened the large-mesh per-event cost cliff.
+#[derive(Default)]
+struct PeerState {
+    /// Last-known coordinate state, present once the peer has been observed
+    /// first-hand or learned through gossip.
+    neighbor: Option<NeighborSnapshot>,
+    /// Per-link latency filter, created lazily on the first first-hand
+    /// observation (gossip-only peers carry no filter).
+    filter: Option<PeerFilter>,
+    /// Consecutive unanswered probes; drives eviction when
+    /// [`NodeConfig::max_consecutive_losses`] is set. Zero when the last
+    /// probe was answered.
+    loss_streak: u32,
+    /// Whether the peer sits in the round-robin `membership` rotation.
+    member: bool,
+}
+
+/// A per-link latency filter as stored in the peer table.
+///
+/// The moving-percentile family — the paper's recommended filter and the
+/// one every experiment configuration uses — is stored *inline* in the peer
+/// entry: no box, no vtable, and (for the paper's `h = 4`) no heap-backed
+/// window either, so digesting a response reads the filter straight out of
+/// the already-loaded peer entry instead of chasing two or three pointers
+/// into cold memory. Every other filter family keeps the boxed trait
+/// object. Behaviour is identical either way; this is purely a layout
+/// optimisation for the simulator's observation hot path.
+enum PeerFilter {
+    /// Moving-percentile (and its median special case), devirtualized.
+    MovingPercentile(MovingPercentileFilter),
+    /// Any other configured filter family.
+    Boxed(Box<dyn LatencyFilter + Send>),
+}
+
+impl PeerFilter {
+    /// Builds the filter the configuration describes, choosing the inline
+    /// representation when it applies (no warm-up wrapper needed and a
+    /// moving-percentile family configured).
+    fn build(config: &NodeConfig) -> PeerFilter {
+        use crate::config::FilterConfig;
+        if config.warmup_samples <= 1 {
+            match config.filter {
+                FilterConfig::MovingPercentile {
+                    history,
+                    percentile,
+                } => {
+                    return PeerFilter::MovingPercentile(
+                        MovingPercentileFilter::new(history, percentile)
+                            .expect("invalid moving-percentile parameters"),
+                    )
+                }
+                FilterConfig::MovingMedian { history } => {
+                    // The median filter is definitionally MP at p = 50 (and
+                    // `MovingMedianFilter` is implemented as exactly that
+                    // wrapper), so the inline representation covers it too.
+                    return PeerFilter::MovingPercentile(
+                        MovingPercentileFilter::new(history, 50.0).expect("invalid median history"),
+                    );
+                }
+                _ => {}
+            }
+        }
+        PeerFilter::Boxed(config.filter.build(config.warmup_samples))
+    }
+
+    fn observe(&mut self, raw_rtt_ms: f64) -> Option<f64> {
+        match self {
+            PeerFilter::MovingPercentile(filter) => filter.observe(raw_rtt_ms),
+            PeerFilter::Boxed(filter) => filter.observe(raw_rtt_ms),
+        }
+    }
+
+    fn current_estimate(&self) -> Option<f64> {
+        match self {
+            PeerFilter::MovingPercentile(filter) => filter.current_estimate(),
+            PeerFilter::Boxed(filter) => filter.current_estimate(),
+        }
+    }
+
+    fn observations_seen(&self) -> u64 {
+        match self {
+            PeerFilter::MovingPercentile(filter) => filter.observations_seen(),
+            PeerFilter::Boxed(filter) => filter.observations_seen(),
+        }
+    }
+
+    fn export_state(&self) -> FilterState {
+        match self {
+            PeerFilter::MovingPercentile(filter) => filter.export_state(),
+            PeerFilter::Boxed(filter) => filter.export_state(),
+        }
+    }
+
+    fn import_state(&mut self, state: &FilterState) -> Result<(), StateMismatch> {
+        match self {
+            PeerFilter::MovingPercentile(filter) => filter.import_state(state),
+            PeerFilter::Boxed(filter) => filter.import_state(state),
+        }
+    }
+}
+
 /// The paper's coordinate stack for one host, exposed as a sans-I/O engine.
 ///
 /// `Id` identifies remote peers (an address, an index into a membership list,
@@ -127,8 +234,10 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     vivaldi: VivaldiState,
     application: ApplicationCoordinate,
     follow_system: bool,
-    filters: FxHashMap<Id, Box<dyn LatencyFilter + Send>>,
-    neighbors: FxHashMap<Id, NeighborSnapshot>,
+    /// Everything known about each peer — neighbour snapshot, latency
+    /// filter, loss streak, rotation membership — in one table, so the
+    /// observation hot path stays cache-friendly as the peer set grows.
+    peers: FxHashMap<Id, PeerState>,
     nearest_neighbor: Option<(Id, f64)>,
     observations: u64,
     /// This node's own identity, when declared. Keeps the node from
@@ -141,9 +250,6 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     gossip_cursor: usize,
     /// Probes sent but not yet answered or expired, oldest first.
     pending: Vec<PendingProbe<Id>>,
-    /// Consecutive unanswered probes per peer; drives eviction when
-    /// [`NodeConfig::max_consecutive_losses`] is set.
-    loss_streaks: FxHashMap<Id, u32>,
     /// When set, responses that correlate with no pending probe are always
     /// rejected — even before the first probe is issued. Declared by
     /// drivers exposed to untrusted traffic (the UDP transport); simulated
@@ -157,7 +263,14 @@ impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id>
             .field("system_coordinate", self.vivaldi.coordinate())
             .field("application_coordinate", self.application.coordinate())
             .field("error_estimate", &self.vivaldi.error_estimate())
-            .field("neighbors", &self.neighbors.len())
+            .field(
+                "neighbors",
+                &self
+                    .peers
+                    .values()
+                    .filter(|peer| peer.neighbor.is_some())
+                    .count(),
+            )
             .field("observations", &self.observations)
             .finish()
     }
@@ -187,8 +300,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             vivaldi,
             application,
             follow_system,
-            filters: FxHashMap::default(),
-            neighbors: FxHashMap::default(),
+            peers: FxHashMap::default(),
             nearest_neighbor: None,
             observations: 0,
             identity: None,
@@ -197,7 +309,6 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             probe_seq: 0,
             gossip_cursor: 0,
             pending: Vec::new(),
-            loss_streaks: FxHashMap::default(),
             require_correlation: false,
         }
     }
@@ -270,7 +381,9 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
 
     /// The neighbours this node has observed, with their last-known state.
     pub fn neighbors(&self) -> impl Iterator<Item = (&Id, &NeighborSnapshot)> {
-        self.neighbors.iter()
+        self.peers
+            .iter()
+            .filter_map(|(id, peer)| peer.neighbor.as_ref().map(|snapshot| (id, snapshot)))
     }
 
     /// The identifier and last filtered RTT of the (approximately) nearest
@@ -320,9 +433,12 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// filtered RTT over every observed link).
     fn recompute_nearest_neighbor(&mut self) {
         self.nearest_neighbor = self
-            .neighbors
+            .peers
             .iter()
-            .filter_map(|(nid, snapshot)| snapshot.filtered_rtt_ms.map(|rtt| (nid.clone(), rtt)))
+            .filter_map(|(nid, peer)| {
+                let snapshot = peer.neighbor.as_ref()?;
+                snapshot.filtered_rtt_ms.map(|rtt| (nid.clone(), rtt))
+            })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("filtered RTTs are finite"));
     }
 
@@ -391,7 +507,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// Consecutive unanswered probes of `id` (zero when the last probe was
     /// answered or the peer has never been probed).
     pub fn loss_streak(&self, id: &Id) -> u32 {
-        self.loss_streaks.get(id).copied().unwrap_or(0)
+        self.peers.get(id).map(|peer| peer.loss_streak).unwrap_or(0)
     }
 
     /// Declares the probe with sequence number `seq` lost: its reply never
@@ -427,9 +543,9 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             id: probe.target.clone(),
             seq,
         });
-        let streak = self.loss_streaks.entry(probe.target.clone()).or_insert(0);
-        *streak = streak.saturating_add(1);
-        let streak = *streak;
+        let peer = self.peers.entry(probe.target.clone()).or_default();
+        peer.loss_streak = peer.loss_streak.saturating_add(1);
+        let streak = peer.loss_streak;
         if let Some(max) = self.config.max_consecutive_losses {
             if streak >= max {
                 self.evict(&probe.target);
@@ -479,6 +595,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// Removes a peer from every table: membership, neighbours, filters,
     /// pending probes and loss streaks.
     fn evict(&mut self, id: &Id) {
+        self.peers.remove(id);
         if let Some(position) = self.membership.iter().position(|member| member == id) {
             self.membership.remove(position);
             // Keep the round-robin cursor pointing at the same *next* peer:
@@ -489,10 +606,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 self.probe_cursor -= 1;
             }
         }
-        self.neighbors.remove(id);
-        self.filters.remove(id);
         self.pending.retain(|probe| probe.target != *id);
-        self.loss_streaks.remove(id);
         if self
             .nearest_neighbor
             .as_ref()
@@ -549,7 +663,11 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             if request.source.as_ref() == Some(&candidate) {
                 continue;
             }
-            if let Some(snapshot) = self.neighbors.get(&candidate) {
+            if let Some(snapshot) = self
+                .peers
+                .get(&candidate)
+                .and_then(|peer| peer.neighbor.as_ref())
+            {
                 response.gossip.push(GossipEntry {
                     id: candidate,
                     coordinate: snapshot.coordinate.clone(),
@@ -622,7 +740,9 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             }
             None => {}
         }
-        self.loss_streaks.remove(&response.responder);
+        if let Some(peer) = self.peers.get_mut(&response.responder) {
+            peer.loss_streak = 0;
+        }
         if self.register_member(response.responder.clone()) {
             events.push(Event::NeighborDiscovered {
                 id: response.responder.clone(),
@@ -645,14 +765,15 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             }
             // Gossip seeds the neighbour table so the peer can itself be
             // gossiped onward, but never overwrites first-hand state.
-            self.neighbors
-                .entry(entry.id.clone())
-                .or_insert_with(|| NeighborSnapshot {
+            let peer = self.peers.entry(entry.id.clone()).or_default();
+            if peer.neighbor.is_none() {
+                peer.neighbor = Some(NeighborSnapshot {
                     coordinate: entry.coordinate.clone(),
                     error_estimate: entry.error_estimate,
                     filtered_rtt_ms: None,
                     observations: 0,
                 });
+            }
         }
 
         let id = response.responder.clone();
@@ -723,10 +844,11 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             .membership
             .iter()
             .filter_map(|id| {
-                let neighbor = self.neighbors.get(id)?;
+                let peer = self.peers.get(id)?;
+                let neighbor = peer.neighbor.as_ref()?;
                 Some(LinkSnapshot {
                     id: id.clone(),
-                    filter: self.filters.get(id).map(|f| f.export_state()),
+                    filter: peer.filter.as_ref().map(|f| f.export_state()),
                     coordinate: neighbor.coordinate.clone(),
                     error_estimate: neighbor.error_estimate,
                     filtered_rtt_ms: neighbor.filtered_rtt_ms,
@@ -735,14 +857,17 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             })
             .collect();
         // Streaks in membership order so identical nodes serialize
-        // identically (the runtime table is an unordered map).
+        // identically (the runtime table is an unordered map). Only live
+        // streaks are captured — a zero entry means the slate was wiped by
+        // an answered probe and carries no information.
         let loss_streaks = self
             .membership
             .iter()
             .filter_map(|id| {
-                self.loss_streaks
+                self.peers
                     .get(id)
-                    .map(|streak| (id.clone(), *streak))
+                    .filter(|peer| peer.loss_streak > 0)
+                    .map(|peer| (id.clone(), peer.loss_streak))
             })
             .collect();
         NodeSnapshot {
@@ -807,27 +932,28 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             .import_state(&snapshot.application)
             .map_err(RestoreError::Heuristic)?;
         for link in &snapshot.links {
+            let peer = node.peers.entry(link.id.clone()).or_default();
             if let Some(filter_state) = &link.filter {
-                let mut filter = node.config.filter.build(node.config.warmup_samples);
+                let mut filter = PeerFilter::build(&node.config);
                 filter
                     .import_state(filter_state)
                     .map_err(RestoreError::Filter)?;
-                node.filters.insert(link.id.clone(), filter);
+                peer.filter = Some(filter);
             }
-            node.neighbors.insert(
-                link.id.clone(),
-                NeighborSnapshot {
-                    coordinate: link.coordinate.clone(),
-                    error_estimate: link.error_estimate,
-                    filtered_rtt_ms: link.filtered_rtt_ms,
-                    observations: link.observations,
-                },
-            );
+            peer.neighbor = Some(NeighborSnapshot {
+                coordinate: link.coordinate.clone(),
+                error_estimate: link.error_estimate,
+                filtered_rtt_ms: link.filtered_rtt_ms,
+                observations: link.observations,
+            });
         }
         node.nearest_neighbor = snapshot.nearest_neighbor.clone();
         node.observations = snapshot.observations;
         node.identity = snapshot.identity.clone();
         node.membership = snapshot.membership.clone();
+        for id in &node.membership {
+            node.peers.entry(id.clone()).or_default().member = true;
+        }
         // Snapshots written before the rotation became churn-stable carry a
         // free-running counter; reducing it modulo the schedule length lands
         // on the same next peer either way.
@@ -838,7 +964,9 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         node.probe_seq = snapshot.probe_seq;
         node.gossip_cursor = snapshot.gossip_cursor;
         node.pending = snapshot.pending.clone();
-        node.loss_streaks = snapshot.loss_streaks.iter().cloned().collect();
+        for (id, streak) in &snapshot.loss_streaks {
+            node.peers.entry(id.clone()).or_default().loss_streak = *streak;
+        }
         Ok(node)
     }
 
@@ -884,10 +1012,16 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         self.observations += 1;
         self.register_member(id.clone());
 
-        let filter = self
-            .filters
-            .entry(id.clone())
-            .or_insert_with(|| self.config.filter.build(self.config.warmup_samples));
+        // One hash lookup covers the whole per-peer update: filter, neighbour
+        // snapshot and (implicitly, on the response path) the loss streak all
+        // live in the same `PeerState`.
+        let peer = self
+            .peers
+            .get_mut(&id)
+            .expect("register_member keeps every observed peer in the table");
+        let filter = peer
+            .filter
+            .get_or_insert_with(|| PeerFilter::build(&self.config));
         let filtered = filter.observe(raw_rtt_ms);
         let link_observations = filter.observations_seen();
         let filtered_estimate = filter.current_estimate();
@@ -895,15 +1029,12 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         // Track the neighbour snapshot regardless of whether the filter let
         // the sample through: the coordinate and error estimate are still
         // fresh information.
-        self.neighbors.insert(
-            id.clone(),
-            NeighborSnapshot {
-                coordinate: remote_coordinate.clone(),
-                error_estimate: remote_error_estimate,
-                filtered_rtt_ms: filtered_estimate,
-                observations: link_observations,
-            },
-        );
+        peer.neighbor = Some(NeighborSnapshot {
+            coordinate: remote_coordinate.clone(),
+            error_estimate: remote_error_estimate,
+            filtered_rtt_ms: filtered_estimate,
+            observations: link_observations,
+        });
 
         let Some(filtered_rtt) = filtered else {
             return ObservationOutcome {
@@ -970,7 +1101,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 nearest_neighbor: self
                     .nearest_neighbor
                     .as_ref()
-                    .and_then(|(nid, _)| self.neighbors.get(nid))
+                    .and_then(|(nid, _)| self.peers.get(nid))
+                    .and_then(|peer| peer.neighbor.as_ref())
                     .map(|snapshot| snapshot.coordinate.clone()),
             };
             self.application
@@ -990,12 +1122,14 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// The node's own identity is never registered — a node must not probe
     /// itself, however its address comes back around through gossip.
     fn register_member(&mut self, id: Id) -> bool {
-        if self.identity.as_ref() == Some(&id)
-            || self.neighbors.contains_key(&id)
-            || self.membership.contains(&id)
-        {
+        if self.identity.as_ref() == Some(&id) {
             return false;
         }
+        let peer = self.peers.entry(id.clone()).or_default();
+        if peer.member || peer.neighbor.is_some() {
+            return false;
+        }
+        peer.member = true;
         self.membership.push(id);
         true
     }

@@ -46,16 +46,165 @@ impl std::error::Error for InvalidFilterParameter {}
 pub struct MovingPercentileFilter {
     history_size: usize,
     percentile: f64,
-    window: VecDeque<f64>,
-    /// The window's values kept incrementally sorted: each observation does
-    /// one binary-search removal of the expiring sample and one
-    /// binary-search insertion of the new one instead of cloning and
-    /// re-sorting the whole window. Identical multiset to `window`, so the
-    /// percentile is bit-identical to the clone-and-sort approach; both
-    /// buffers are pre-allocated to `history_size`, so the steady-state
-    /// observation path performs zero heap allocations.
-    sorted: Vec<f64>,
+    buf: WindowStorage,
     seen: u64,
+}
+
+/// Window sizes up to this bound (the paper's `h = 4` comfortably included)
+/// store both buffers inline in the filter value itself.
+const INLINE_HISTORY: usize = 8;
+
+/// Backing storage for the observation window and its sorted companion.
+///
+/// The sorted companion keeps the window's values incrementally ordered:
+/// each observation does one removal of the expiring sample and one ordered
+/// insertion of the new one instead of cloning and re-sorting the whole
+/// window. Identical multiset to the window, so the percentile is
+/// bit-identical to the clone-and-sort approach.
+///
+/// Small histories — every filter the paper evaluates — live in the
+/// `Inline` arm: plain arrays inside the filter value, so a per-link filter
+/// embedded in a node's peer table costs zero heap allocations and zero
+/// pointer chases per observation. That locality is worth real wall-clock
+/// time in large simulations, where millions of per-link filters dominate
+/// the working set. Larger windows spill to the `Heap` arm, which keeps the
+/// original pre-allocated buffers.
+#[derive(Debug, Clone)]
+enum WindowStorage {
+    Inline {
+        /// The last `len` observations in arrival order, oldest first.
+        window: [f64; INLINE_HISTORY],
+        /// The same `len` values ordered by `total_cmp`.
+        sorted: [f64; INLINE_HISTORY],
+        len: u8,
+    },
+    Heap {
+        window: VecDeque<f64>,
+        sorted: Vec<f64>,
+    },
+}
+
+impl WindowStorage {
+    fn with_capacity(history_size: usize) -> Self {
+        if history_size <= INLINE_HISTORY {
+            WindowStorage::Inline {
+                window: [0.0; INLINE_HISTORY],
+                sorted: [0.0; INLINE_HISTORY],
+                len: 0,
+            }
+        } else {
+            WindowStorage::Heap {
+                window: VecDeque::with_capacity(history_size),
+                sorted: Vec::with_capacity(history_size),
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WindowStorage::Inline { len, .. } => *len as usize,
+            WindowStorage::Heap { window, .. } => window.len(),
+        }
+    }
+
+    /// The window's values ordered by `total_cmp`.
+    fn sorted_values(&self) -> &[f64] {
+        match self {
+            WindowStorage::Inline { sorted, len, .. } => &sorted[..*len as usize],
+            WindowStorage::Heap { sorted, .. } => sorted,
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            WindowStorage::Inline { len, .. } => *len = 0,
+            WindowStorage::Heap { window, sorted } => {
+                window.clear();
+                sorted.clear();
+            }
+        }
+    }
+
+    /// Appends `value`, first expiring the oldest sample when the window
+    /// already holds `history_size` entries. Both representations keep the
+    /// sorted companion totally ordered under `total_cmp` (consistent with
+    /// [`rebuild_sorted`](WindowStorage::rebuild_sorted)), so the expiring
+    /// sample is always found even when an imported snapshot carries values
+    /// `observe` itself would have rejected (e.g. `-0.0`).
+    fn push(&mut self, value: f64, history_size: usize) {
+        match self {
+            WindowStorage::Inline {
+                window,
+                sorted,
+                len,
+            } => {
+                let mut n = *len as usize;
+                if n == history_size {
+                    let expiring = window[0];
+                    window.copy_within(1..n, 0);
+                    let at = sorted[..n]
+                        .iter()
+                        .position(|probe| probe.total_cmp(&expiring) == std::cmp::Ordering::Equal)
+                        .expect("expiring value is present in the sorted window");
+                    sorted.copy_within(at + 1..n, at);
+                    n -= 1;
+                }
+                window[n] = value;
+                let at = sorted[..n]
+                    .partition_point(|probe| probe.total_cmp(&value) == std::cmp::Ordering::Less);
+                sorted.copy_within(at..n, at + 1);
+                sorted[at] = value;
+                *len = (n + 1) as u8;
+            }
+            WindowStorage::Heap { window, sorted } => {
+                if window.len() == history_size {
+                    let expiring = window
+                        .pop_front()
+                        .expect("full window holds at least one sample");
+                    let index = sorted
+                        .binary_search_by(|probe| probe.total_cmp(&expiring))
+                        .expect("expiring value is present in the sorted window");
+                    sorted.remove(index);
+                }
+                window.push_back(value);
+                let index = sorted
+                    .partition_point(|probe| probe.total_cmp(&value) == std::cmp::Ordering::Less);
+                sorted.insert(index, value);
+            }
+        }
+    }
+
+    /// Replaces the window contents with `values` (oldest first) and
+    /// rebuilds the sorted companion — the state-import path.
+    fn replace(&mut self, values: &[f64]) {
+        match self {
+            WindowStorage::Inline {
+                window,
+                sorted,
+                len,
+            } => {
+                window[..values.len()].copy_from_slice(values);
+                sorted[..values.len()].copy_from_slice(values);
+                sorted[..values.len()].sort_by(|a, b| a.total_cmp(b));
+                *len = values.len() as u8;
+            }
+            WindowStorage::Heap { window, sorted } => {
+                window.clear();
+                window.extend(values.iter().copied());
+                sorted.clear();
+                sorted.extend(values.iter().copied());
+                sorted.sort_by(|a, b| a.total_cmp(b));
+            }
+        }
+    }
+
+    /// The window in arrival order, for state export.
+    fn export_window(&self) -> Vec<f64> {
+        match self {
+            WindowStorage::Inline { window, len, .. } => window[..*len as usize].to_vec(),
+            WindowStorage::Heap { window, .. } => window.iter().copied().collect(),
+        }
+    }
 }
 
 impl MovingPercentileFilter {
@@ -75,8 +224,7 @@ impl MovingPercentileFilter {
         Ok(MovingPercentileFilter {
             history_size,
             percentile,
-            window: VecDeque::with_capacity(history_size),
-            sorted: Vec::with_capacity(history_size),
+            buf: WindowStorage::with_capacity(history_size),
             seen: 0,
         })
     }
@@ -99,46 +247,15 @@ impl MovingPercentileFilter {
 
     /// Number of observations currently held in the window (≤ `h`).
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.buf.len()
     }
 
     fn estimate_from_window(&self) -> Option<f64> {
-        if self.sorted.is_empty() {
+        let sorted = self.buf.sorted_values();
+        if sorted.is_empty() {
             return None;
         }
-        percentile_of_sorted(&self.sorted, self.percentile).ok()
-    }
-
-    /// Rebuilds the sorted companion buffer from the window (used after
-    /// state imports; the per-observation path maintains it incrementally).
-    fn resort(&mut self) {
-        self.sorted.clear();
-        self.sorted.extend(self.window.iter());
-        // total_cmp, like insertion and removal below: for the positive
-        // finite values `observe` admits it orders identically to
-        // partial_cmp, and it keeps the buffer totally ordered even if an
-        // imported snapshot carries values (e.g. -0.0) `observe` would have
-        // rejected — removal must always find its element.
-        self.sorted.sort_by(|a, b| a.total_cmp(b));
-    }
-
-    /// Removes one element equal to `value` from the sorted buffer.
-    fn remove_sorted(&mut self, value: f64) {
-        let index = self
-            .sorted
-            .binary_search_by(|probe| probe.total_cmp(&value))
-            .expect("expiring value is present in the sorted window");
-        self.sorted.remove(index);
-    }
-
-    /// Inserts `value` into the sorted buffer, keeping it totally ordered
-    /// under `total_cmp` (consistent with removal and
-    /// [`resort`](MovingPercentileFilter::resort)).
-    fn insert_sorted(&mut self, value: f64) {
-        let index = self
-            .sorted
-            .partition_point(|probe| probe.total_cmp(&value) == std::cmp::Ordering::Less);
-        self.sorted.insert(index, value);
+        percentile_of_sorted(sorted, self.percentile).ok()
     }
 }
 
@@ -147,15 +264,7 @@ impl LatencyFilter for MovingPercentileFilter {
         if !raw_rtt_ms.is_finite() || raw_rtt_ms <= 0.0 {
             return None;
         }
-        if self.window.len() == self.history_size {
-            let expiring = self
-                .window
-                .pop_front()
-                .expect("full window holds at least one sample");
-            self.remove_sorted(expiring);
-        }
-        self.window.push_back(raw_rtt_ms);
-        self.insert_sorted(raw_rtt_ms);
+        self.buf.push(raw_rtt_ms, self.history_size);
         self.seen += 1;
         self.estimate_from_window()
     }
@@ -169,14 +278,13 @@ impl LatencyFilter for MovingPercentileFilter {
     }
 
     fn reset(&mut self) {
-        self.window.clear();
-        self.sorted.clear();
+        self.buf.clear();
         self.seen = 0;
     }
 
     fn export_state(&self) -> FilterState {
         FilterState::MovingPercentile {
-            window: self.window.iter().copied().collect(),
+            window: self.buf.export_window(),
             seen: self.seen,
         }
     }
@@ -187,9 +295,7 @@ impl LatencyFilter for MovingPercentileFilter {
                 // Keep only the newest `history_size` entries so a state
                 // exported under a larger history still restores sanely.
                 let start = window.len().saturating_sub(self.history_size);
-                self.window.clear();
-                self.window.extend(window[start..].iter().copied());
-                self.resort();
+                self.buf.replace(&window[start..]);
                 self.seen = *seen;
                 Ok(())
             }

@@ -92,6 +92,7 @@ pub mod metrics;
 pub mod planetlab;
 pub mod rand_ext;
 pub mod scenario;
+mod shard;
 pub mod sim;
 pub mod topology;
 pub mod trace;

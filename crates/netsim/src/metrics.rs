@@ -41,6 +41,16 @@ pub struct NodeMetrics {
     /// datagrams, or replies from evicted peers. Counted over the whole run,
     /// like losses.
     pub responses_ignored: u64,
+    /// Number of probes this node issued, counted over the whole run at the
+    /// instant of sending — lost or answered alike.
+    pub probes_sent: u64,
+    /// Number of probe replies this node digested (correlated and handed to
+    /// the observation pipeline), counted over the whole run. The
+    /// measurement-window-gated counterpart is `observations`.
+    pub responses_received: u64,
+    /// Number of peers this node evicted after a loss streak reached
+    /// `max_consecutive_losses`, counted over the whole run.
+    pub neighbors_evicted: u64,
 }
 
 impl NodeMetrics {
@@ -145,6 +155,9 @@ pub struct ConfigMetrics {
     pub measurement_duration_s: f64,
     /// Tracked coordinate trajectories (empty unless tracking was requested).
     pub tracked: Vec<TrackedCoordinate>,
+    /// Number of scripted scenario actions applied over the run (joins,
+    /// leaves, crashes, restarts, partitions), counted once per action.
+    pub scenario_ops: u64,
 }
 
 impl ConfigMetrics {
@@ -154,6 +167,7 @@ impl ConfigMetrics {
             nodes: vec![NodeMetrics::default(); node_count],
             measurement_duration_s,
             tracked: Vec::new(),
+            scenario_ops: 0,
         }
     }
 
@@ -301,6 +315,21 @@ impl ConfigMetrics {
         self.nodes.iter().map(|n| n.responses_ignored).sum()
     }
 
+    /// Total probes issued across all nodes over the whole run.
+    pub fn total_probes_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.probes_sent).sum()
+    }
+
+    /// Total probe replies digested across all nodes over the whole run.
+    pub fn total_responses_received(&self) -> u64 {
+        self.nodes.iter().map(|n| n.responses_received).sum()
+    }
+
+    /// Total loss-streak evictions across all nodes over the whole run.
+    pub fn total_neighbors_evicted(&self) -> u64 {
+        self.nodes.iter().map(|n| n.neighbors_evicted).sum()
+    }
+
     /// Median of every system-level relative error sampled in `[from_s,
     /// to_s)`, pooled across nodes. This is the number the churn acceptance
     /// criterion compares pre-crash against end-of-run.
@@ -399,6 +428,9 @@ mod tests {
             observations: errors.len() as u64,
             probes_lost: 0,
             responses_ignored: 0,
+            probes_sent: 0,
+            responses_received: 0,
+            neighbors_evicted: 0,
         }
     }
 

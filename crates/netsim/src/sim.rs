@@ -47,19 +47,19 @@
 //! daemon's timer wheel would call.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use nc_proto::{Event, NodeSnapshot, ProbeRequest, ProbeResponse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use stable_nc::{NodeConfig, StableNode};
+use stable_nc::{FxHashMap, NodeConfig, StableNode};
 
 use crate::linkmodel::{LinkModel, LinkModelConfig};
 use crate::metrics::{ConfigMetrics, NodeMetrics, SimReport, TrackedCoordinate};
 use crate::planetlab::PlanetLabConfig;
 use crate::scenario::{Scenario, ScenarioAction};
-use crate::topology::{RttMatrix, Topology};
+use crate::topology::Topology;
 
 /// An invalid [`SimConfig`], reported by [`SimConfig::validate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -270,8 +270,11 @@ impl SimConfig {
 // Event queue
 // ---------------------------------------------------------------------------
 
-/// A heap entry; the `Ord` impl is inverted so [`BinaryHeap`] (a max-heap)
-/// pops the *earliest* time first, FIFO among equal times.
+/// A heap entry, ordered by `(time_s, insertion)`: earliest time first,
+/// FIFO among equal times. Insertion numbers are unique, so the order is a
+/// *strict* total order — every correct min-heap pops the exact same
+/// sequence, which is what lets the heap layout change without touching
+/// simulation results.
 #[derive(Debug)]
 struct QueueEntry<T> {
     time_s: f64,
@@ -279,35 +282,18 @@ struct QueueEntry<T> {
     item: T,
 }
 
-impl<T> PartialEq for QueueEntry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_s == other.time_s && self.insertion == other.insertion
-    }
-}
-
-impl<T> Eq for QueueEntry<T> {}
-
-impl<T> PartialOrd for QueueEntry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for QueueEntry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time_s
-            .total_cmp(&self.time_s)
-            .then_with(|| other.insertion.cmp(&self.insertion))
-    }
-}
+/// Heap arity. A 4-ary heap halves the tree depth of a binary heap and
+/// packs each node's children into one or two cache lines; with tens of
+/// thousands of in-flight events (large meshes push the queue well past
+/// L2), the fewer, more local levels measurably cut per-pop cost.
+const HEAP_ARITY: usize = 4;
 
 /// A deterministic discrete-event queue: events pop in nondecreasing time
 /// order, and events scheduled for the same instant pop in insertion order
 /// (FIFO), so a simulation's behaviour is a pure function of its inputs.
 #[derive(Debug, Default)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<QueueEntry<T>>,
+    heap: Vec<QueueEntry<T>>,
     insertions: u64,
 }
 
@@ -315,8 +301,52 @@ impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             insertions: 0,
+        }
+    }
+
+    /// Strict `(time, insertion)` ordering; `insertion` uniqueness means
+    /// `Ordering::Equal` never decides between distinct entries.
+    fn earlier(a: &QueueEntry<T>, b: &QueueEntry<T>) -> bool {
+        match a.time_s.total_cmp(&b.time_s) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a.insertion < b.insertion,
+        }
+    }
+
+    fn sift_up(&mut self, mut index: usize) {
+        while index > 0 {
+            let parent = (index - 1) / HEAP_ARITY;
+            if Self::earlier(&self.heap[index], &self.heap[parent]) {
+                self.heap.swap(index, parent);
+                index = parent;
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut index: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = index * HEAP_ARITY + 1;
+            if first_child >= len {
+                return;
+            }
+            let mut earliest = first_child;
+            for child in first_child + 1..(first_child + HEAP_ARITY).min(len) {
+                if Self::earlier(&self.heap[child], &self.heap[earliest]) {
+                    earliest = child;
+                }
+            }
+            if Self::earlier(&self.heap[earliest], &self.heap[index]) {
+                self.heap.swap(index, earliest);
+                index = earliest;
+            } else {
+                return;
+            }
         }
     }
 
@@ -335,16 +365,25 @@ impl<T> EventQueue<T> {
             insertion,
             item,
         });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event as `(time, item)`.
     pub fn pop(&mut self) -> Option<(f64, T)> {
-        self.heap.pop().map(|entry| (entry.time_s, entry.item))
+        let last = self.heap.pop()?;
+        let entry = if self.heap.is_empty() {
+            last
+        } else {
+            let entry = std::mem::replace(&mut self.heap[0], last);
+            self.sift_down(0);
+            entry
+        };
+        Some((entry.time_s, entry.item))
     }
 
     /// The time of the next event without removing it.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|entry| entry.time_s)
+        self.heap.first().map(|entry| entry.time_s)
     }
 
     /// Number of scheduled events.
@@ -369,7 +408,7 @@ impl<T> EventQueue<T> {
 /// scalars, so scheduling and delivering a probe moves a few machine words
 /// through the queue instead of cloning coordinates and messages per event.
 #[derive(Debug, Clone, Copy)]
-enum SimEvent {
+pub(crate) enum SimEvent {
     /// A node's probe tick: pick the next round-robin target and launch the
     /// exchange. Reschedules itself every probe interval while the node is
     /// up.
@@ -400,18 +439,18 @@ enum SimEvent {
 /// One in-run network partition: packets crossing the boundary between
 /// `members` and everyone else are dropped until `heal_at_s`.
 #[derive(Clone)]
-struct PartitionWindow {
-    heal_at_s: f64,
-    members: Vec<bool>,
+pub(crate) struct PartitionWindow {
+    pub(crate) heal_at_s: f64,
+    pub(crate) members: Vec<bool>,
 }
 
 /// One coordinate stack (a full set of [`StableNode`]s, one per host) run by
 /// the simulator.
-struct ConfigRun {
-    name: String,
-    config: NodeConfig,
-    nodes: Vec<StableNode<usize>>,
-    metrics: ConfigMetrics,
+pub(crate) struct ConfigRun {
+    pub(crate) name: String,
+    pub(crate) config: NodeConfig,
+    pub(crate) nodes: Vec<StableNode<usize>>,
+    pub(crate) metrics: ConfigMetrics,
 }
 
 /// Reusable per-exchange wire buffers: one request and one response per
@@ -428,43 +467,146 @@ struct ExchangeSlot {
 /// Everything that stays immutable while a simulation runs: the workload,
 /// the schedule, the ground-truth topology and the scripted scenario.
 /// Shared by reference with every worker thread of a parallel run.
-struct SimEnv {
-    workload: PlanetLabConfig,
-    sim_config: SimConfig,
-    topology: Topology,
-    /// Row-major ground-truth RTT matrix: the hot-path lookup behind every
-    /// link-model construction.
-    rtt_matrix: RttMatrix,
-    scenario: Scenario,
+pub(crate) struct SimEnv {
+    pub(crate) workload: PlanetLabConfig,
+    pub(crate) sim_config: SimConfig,
+    pub(crate) topology: Topology,
+    pub(crate) scenario: Scenario,
 }
 
-/// The mutable half of a simulation: protocol-level schedule state (who
-/// knows whom, liveness, RNG), the per-configuration node stacks, and the
-/// reusable exchange buffers. A multi-configuration run is parallelised by
-/// cloning the schedule state per configuration — every worker then replays
-/// the byte-identical schedule, because probe targets, link draws and gossip
-/// choices never depend on the coordinate stacks.
-struct EngineState {
-    links: HashMap<(usize, usize), LinkModel>,
+/// Protocol-level schedule state: who knows whom, liveness, link models and
+/// the protocol RNG. Probe targets, link draws, gossip picks and scenario
+/// effects are a pure function of this state plus the seeds — never of the
+/// coordinate stacks — which is what lets the per-configuration workers and
+/// the node-sharded executor replay the byte-identical schedule.
+#[derive(Clone)]
+pub(crate) struct ScheduleState {
+    /// Per-link models, keyed by the packed `(lo << 32) | hi` node pair.
+    /// FxHash keeps the one map lookup per exchange a few shifts and
+    /// multiplies instead of SipHash rounds.
+    pub(crate) links: FxHashMap<u64, LinkModel>,
     /// The shared link-model tuning, hoisted out of the per-exchange path.
-    link_config: LinkModelConfig,
-    neighbor_sets: Vec<Vec<usize>>,
+    pub(crate) link_config: LinkModelConfig,
+    pub(crate) neighbor_sets: Vec<Vec<usize>>,
     /// Per-node membership bitmaps mirroring `neighbor_sets`, so the
     /// per-gossip "already known?" check is one bit test instead of a scan
     /// of a growing vector.
-    neighbor_bits: Vec<Vec<u64>>,
-    round_robin: Vec<usize>,
-    protocol_rng: StdRng,
+    pub(crate) neighbor_bits: Vec<Vec<u64>>,
+    pub(crate) round_robin: Vec<usize>,
+    pub(crate) protocol_rng: StdRng,
     /// Liveness per node; down nodes neither probe nor answer.
-    alive: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
     /// Whether a future `ProbeSend` for the node is already in the queue
     /// (guards against double-scheduling across crash/restart cycles).
-    probe_cycle_active: Vec<bool>,
-    active_partitions: Vec<PartitionWindow>,
-    runs: Vec<ConfigRun>,
+    pub(crate) probe_cycle_active: Vec<bool>,
+    pub(crate) active_partitions: Vec<PartitionWindow>,
+}
+
+impl ScheduleState {
+    /// True when `node` already has `peer` in its probe rotation.
+    pub(crate) fn knows(&self, node: usize, peer: usize) -> bool {
+        self.neighbor_bits[node][peer / 64] >> (peer % 64) & 1 == 1
+    }
+
+    /// Adds `peer` to `node`'s probe rotation unless already present.
+    pub(crate) fn neighbor_add(&mut self, node: usize, peer: usize) {
+        if !self.knows(node, peer) {
+            self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
+            self.neighbor_sets[node].push(peer);
+        }
+    }
+
+    /// Removes `peer` from `node`'s probe rotation if present.
+    pub(crate) fn neighbor_remove(&mut self, node: usize, peer: usize) {
+        if self.knows(node, peer) {
+            self.neighbor_bits[node][peer / 64] &= !(1 << (peer % 64));
+            self.neighbor_sets[node].retain(|&member| member != peer);
+        }
+    }
+
+    /// Replaces `node`'s probe rotation wholesale (joiner bootstrap).
+    pub(crate) fn neighbor_replace(&mut self, node: usize, set: Vec<usize>) {
+        for word in self.neighbor_bits[node].iter_mut() {
+            *word = 0;
+        }
+        for &peer in &set {
+            self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
+        }
+        self.neighbor_sets[node] = set;
+    }
+
+    /// Draws one full exchange over the (unordered) link `src`–`dst`: the
+    /// observed RTT, the per-direction loss decisions and the asymmetric
+    /// one-way delays. The ground-truth base RTT is derived from the
+    /// topology **once per link lifetime**, inside the insertion closure —
+    /// no `n × n` matrix is materialised, and the steady-state path is one
+    /// FxHash lookup instead of a guaranteed cache miss into a
+    /// hundreds-of-megabytes matrix row.
+    pub(crate) fn sample_exchange(
+        &mut self,
+        env: &SimEnv,
+        src: usize,
+        dst: usize,
+        time_s: f64,
+    ) -> LinkDraw {
+        let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+        let key = ((lo as u64) << 32) | hi as u64;
+        let seed = env
+            .workload
+            .seed()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key);
+        let duration = env.sim_config.duration_s;
+        let link_config = &self.link_config;
+        let topology = &env.topology;
+        let link = self.links.entry(key).or_insert_with(|| {
+            LinkModel::new(
+                topology.base_rtt_ms(lo, hi),
+                link_config.clone(),
+                duration,
+                seed,
+            )
+        });
+        let rtt_ms = link.sample(time_s);
+        let forward_lost = link.sample_loss();
+        let reverse_lost = link.sample_loss();
+        let (lo_to_hi_ms, hi_to_lo_ms) = link.one_way_split(rtt_ms);
+        // The split is stored in (low, high) index order; orient it to the
+        // actual probe direction.
+        let (forward_ms, reverse_ms) = if src == lo {
+            (lo_to_hi_ms, hi_to_lo_ms)
+        } else {
+            (hi_to_lo_ms, lo_to_hi_ms)
+        };
+        LinkDraw {
+            rtt_ms,
+            forward_delay_s: forward_ms / 1_000.0,
+            reverse_delay_s: reverse_ms / 1_000.0,
+            forward_lost,
+            reverse_lost,
+        }
+    }
+
+    /// True when an active partition separates `a` from `b` at `time_s`.
+    pub(crate) fn partitioned(&self, a: usize, b: usize, time_s: f64) -> bool {
+        self.active_partitions
+            .iter()
+            .any(|window| time_s < window.heal_at_s && window.members[a] != window.members[b])
+    }
+}
+
+/// The mutable half of a simulation: the protocol-level [`ScheduleState`],
+/// the per-configuration node stacks, and the reusable exchange buffers. A
+/// multi-configuration run is parallelised by cloning the schedule state per
+/// configuration — every worker then replays the byte-identical schedule,
+/// because probe targets, link draws and gossip choices never depend on the
+/// coordinate stacks.
+pub(crate) struct EngineState {
+    pub(crate) schedule: ScheduleState,
+    pub(crate) runs: Vec<ConfigRun>,
     /// Per-run, per-node snapshot taken at the instant of a crash, consumed
     /// by a later restart.
-    crash_snapshots: Vec<Vec<Option<NodeSnapshot<usize>>>>,
+    pub(crate) crash_snapshots: Vec<Vec<Option<NodeSnapshot<usize>>>>,
     slots: Vec<ExchangeSlot>,
     free_slots: Vec<usize>,
     /// Reusable engine-event buffer, cleared before every
@@ -486,6 +628,7 @@ pub struct Simulator {
     env: SimEnv,
     state: EngineState,
     force_serial: bool,
+    threads: Option<usize>,
 }
 
 impl Simulator {
@@ -520,7 +663,6 @@ impl Simulator {
             );
         }
         let topology = workload.build_topology();
-        let rtt_matrix = topology.base_rtt_matrix();
         let n = topology.len();
         for &tracked in &sim_config.track_nodes {
             assert!(tracked < n, "tracked node {tracked} out of range");
@@ -575,19 +717,20 @@ impl Simulator {
                 workload,
                 sim_config,
                 topology,
-                rtt_matrix,
                 scenario: Scenario::new(),
             },
             state: EngineState {
-                links: HashMap::new(),
-                link_config,
-                neighbor_sets,
-                neighbor_bits,
-                round_robin: vec![0; n],
-                protocol_rng,
-                alive: vec![true; n],
-                probe_cycle_active: vec![false; n],
-                active_partitions: Vec::new(),
+                schedule: ScheduleState {
+                    links: FxHashMap::default(),
+                    link_config,
+                    neighbor_sets,
+                    neighbor_bits,
+                    round_robin: vec![0; n],
+                    protocol_rng,
+                    alive: vec![true; n],
+                    probe_cycle_active: vec![false; n],
+                    active_partitions: Vec::new(),
+                },
                 runs,
                 crash_snapshots: vec![vec![None; n]; run_count],
                 slots: Vec::new(),
@@ -595,6 +738,7 @@ impl Simulator {
                 events_scratch: Vec::new(),
             },
             force_serial: false,
+            threads: None,
         }
     }
 
@@ -629,6 +773,29 @@ impl Simulator {
         self
     }
 
+    /// Shards this simulation's event processing across `threads` worker
+    /// threads (node-sharded: engine work for node `i` runs on worker
+    /// `i % threads`), producing a [`SimReport`] byte-identical to serial
+    /// execution.
+    ///
+    /// The schedule itself (probe targets, link draws, losses, gossip,
+    /// scenario effects) is always replayed serially — it is cheap and
+    /// inherently sequential through the protocol RNG — while the expensive
+    /// engine work (coordinate updates, filters, response digestion) fans
+    /// out. `threads = 1` still exercises the plan/execute split on a single
+    /// worker. Requires uniform eviction thresholds across configurations;
+    /// otherwise, and under [`Simulator::with_serial_execution`], the run
+    /// falls back to the engine-driven serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = Some(threads);
+        self
+    }
+
     /// The generated topology (ground-truth base RTTs).
     pub fn topology(&self) -> &Topology {
         &self.env.topology
@@ -650,7 +817,12 @@ impl Simulator {
         let uniform_eviction = self.state.runs.windows(2).all(|pair| {
             pair[0].config.max_consecutive_losses == pair[1].config.max_consecutive_losses
         });
-        if self.state.runs.len() > 1 && uniform_eviction && !self.force_serial {
+        if let Some(threads) = self
+            .threads
+            .filter(|_| uniform_eviction && !self.force_serial)
+        {
+            crate::shard::run_sharded(&self.env, &mut self.state, threads);
+        } else if self.state.runs.len() > 1 && uniform_eviction && !self.force_serial {
             let env = &self.env;
             let state = std::mem::replace(&mut self.state, EngineState::placeholder());
             let workers = state.split_per_config();
@@ -693,7 +865,12 @@ impl Simulator {
 /// Losses are counted over the whole run (a dead link produces nothing
 /// to gate a measurement window on); everything else respects the
 /// warm-up exclusion.
-fn fold_events(metrics: &mut NodeMetrics, time_s: f64, measuring: bool, events: &[Event<usize>]) {
+pub(crate) fn fold_events(
+    metrics: &mut NodeMetrics,
+    time_s: f64,
+    measuring: bool,
+    events: &[Event<usize>],
+) {
     for event in events {
         match event {
             Event::SystemMoved {
@@ -723,6 +900,9 @@ fn fold_events(metrics: &mut NodeMetrics, time_s: f64, measuring: bool, events: 
             Event::ResponseIgnored { .. } => {
                 metrics.responses_ignored += 1;
             }
+            Event::NeighborEvicted { .. } => {
+                metrics.neighbors_evicted += 1;
+            }
             _ => {}
         }
     }
@@ -733,15 +913,17 @@ impl EngineState {
     /// real state is split across worker threads.
     fn placeholder() -> Self {
         EngineState {
-            links: HashMap::new(),
-            link_config: LinkModelConfig::default(),
-            neighbor_sets: Vec::new(),
-            neighbor_bits: Vec::new(),
-            round_robin: Vec::new(),
-            protocol_rng: StdRng::seed_from_u64(0),
-            alive: Vec::new(),
-            probe_cycle_active: Vec::new(),
-            active_partitions: Vec::new(),
+            schedule: ScheduleState {
+                links: FxHashMap::default(),
+                link_config: LinkModelConfig::default(),
+                neighbor_sets: Vec::new(),
+                neighbor_bits: Vec::new(),
+                round_robin: Vec::new(),
+                protocol_rng: StdRng::seed_from_u64(0),
+                alive: Vec::new(),
+                probe_cycle_active: Vec::new(),
+                active_partitions: Vec::new(),
+            },
             runs: Vec::new(),
             crash_snapshots: Vec::new(),
             slots: Vec::new(),
@@ -756,15 +938,7 @@ impl EngineState {
     /// of the coordinate stacks — while the node stacks move.
     fn split_per_config(self) -> Vec<EngineState> {
         let EngineState {
-            links,
-            link_config,
-            neighbor_sets,
-            neighbor_bits,
-            round_robin,
-            protocol_rng,
-            alive,
-            probe_cycle_active,
-            active_partitions,
+            schedule,
             runs,
             crash_snapshots,
             ..
@@ -772,15 +946,7 @@ impl EngineState {
         runs.into_iter()
             .zip(crash_snapshots)
             .map(|(run, snapshots)| EngineState {
-                links: links.clone(),
-                link_config: link_config.clone(),
-                neighbor_sets: neighbor_sets.clone(),
-                neighbor_bits: neighbor_bits.clone(),
-                round_robin: round_robin.clone(),
-                protocol_rng: protocol_rng.clone(),
-                alive: alive.clone(),
-                probe_cycle_active: probe_cycle_active.clone(),
-                active_partitions: active_partitions.clone(),
+                schedule: schedule.clone(),
                 runs: vec![run],
                 crash_snapshots: vec![snapshots],
                 slots: Vec::new(),
@@ -803,38 +969,6 @@ impl EngineState {
         merged
     }
 
-    /// True when `node` already has `peer` in its probe rotation.
-    fn knows(&self, node: usize, peer: usize) -> bool {
-        self.neighbor_bits[node][peer / 64] >> (peer % 64) & 1 == 1
-    }
-
-    /// Adds `peer` to `node`'s probe rotation unless already present.
-    fn neighbor_add(&mut self, node: usize, peer: usize) {
-        if !self.knows(node, peer) {
-            self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
-            self.neighbor_sets[node].push(peer);
-        }
-    }
-
-    /// Removes `peer` from `node`'s probe rotation if present.
-    fn neighbor_remove(&mut self, node: usize, peer: usize) {
-        if self.knows(node, peer) {
-            self.neighbor_bits[node][peer / 64] &= !(1 << (peer % 64));
-            self.neighbor_sets[node].retain(|&member| member != peer);
-        }
-    }
-
-    /// Replaces `node`'s probe rotation wholesale (joiner bootstrap).
-    fn neighbor_replace(&mut self, node: usize, set: Vec<usize>) {
-        for word in self.neighbor_bits[node].iter_mut() {
-            *word = 0;
-        }
-        for &peer in &set {
-            self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
-        }
-        self.neighbor_sets[node] = set;
-    }
-
     /// Pops a free exchange slot or grows the slab by one.
     fn acquire_slot(&mut self) -> usize {
         match self.free_slots.pop() {
@@ -851,58 +985,13 @@ impl EngineState {
         self.free_slots.push(index);
     }
 
-    /// Draws one full exchange over the (unordered) link `src`–`dst`: the
-    /// observed RTT, the per-direction loss decisions and the asymmetric
-    /// one-way delays. The base RTT comes from the flattened
-    /// [`RttMatrix`] — one multiply-add per lookup on the hot path.
-    fn sample_exchange(&mut self, env: &SimEnv, src: usize, dst: usize, time_s: f64) -> LinkDraw {
-        let key = if src < dst { (src, dst) } else { (dst, src) };
-        let base = env.rtt_matrix[(key.0, key.1)];
-        let seed = env
-            .workload
-            .seed()
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(((key.0 as u64) << 32) | key.1 as u64);
-        let duration = env.sim_config.duration_s;
-        let link_config = &self.link_config;
-        let link = self
-            .links
-            .entry(key)
-            .or_insert_with(|| LinkModel::new(base, link_config.clone(), duration, seed));
-        let rtt_ms = link.sample(time_s);
-        let forward_lost = link.sample_loss();
-        let reverse_lost = link.sample_loss();
-        let (lo_to_hi_ms, hi_to_lo_ms) = link.one_way_split(rtt_ms);
-        // The split is stored in (low, high) index order; orient it to the
-        // actual probe direction.
-        let (forward_ms, reverse_ms) = if src == key.0 {
-            (lo_to_hi_ms, hi_to_lo_ms)
-        } else {
-            (hi_to_lo_ms, lo_to_hi_ms)
-        };
-        LinkDraw {
-            rtt_ms,
-            forward_delay_s: forward_ms / 1_000.0,
-            reverse_delay_s: reverse_ms / 1_000.0,
-            forward_lost,
-            reverse_lost,
-        }
-    }
-
-    /// True when an active partition separates `a` from `b` at `time_s`.
-    fn partitioned(&self, a: usize, b: usize, time_s: f64) -> bool {
-        self.active_partitions
-            .iter()
-            .any(|window| time_s < window.heal_at_s && window.members[a] != window.members[b])
-    }
-
     /// Drives the event loop from `t = 0` to the configured duration.
     fn run_to_completion(&mut self, env: &SimEnv) {
         let duration = env.sim_config.duration_s;
         let mut queue: EventQueue<SimEvent> = EventQueue::new();
 
         for &node in env.scenario.initially_down() {
-            self.alive[node] = false;
+            self.schedule.alive[node] = false;
         }
         for (index, event) in env.scenario.events().iter().enumerate() {
             if event.at_s < duration {
@@ -910,8 +999,8 @@ impl EngineState {
             }
         }
         for src in 0..env.topology.len() {
-            if self.alive[src] {
-                self.probe_cycle_active[src] = true;
+            if self.schedule.alive[src] {
+                self.schedule.probe_cycle_active[src] = true;
                 queue.schedule(0.0, SimEvent::ProbeSend { src });
             }
         }
@@ -961,33 +1050,34 @@ impl EngineState {
     ) {
         // Healed partitions are dead weight for every later crossing check;
         // prune them as the clock passes their heal time.
-        self.active_partitions
+        self.schedule
+            .active_partitions
             .retain(|window| window.heal_at_s > now);
-        if !self.alive[src] {
+        if !self.schedule.alive[src] {
             // The cycle dies with the node; a restart schedules a new one.
-            self.probe_cycle_active[src] = false;
+            self.schedule.probe_cycle_active[src] = false;
             return;
         }
         let next_tick = now + env.sim_config.probe_interval_s;
         if next_tick < env.sim_config.duration_s {
             queue.schedule(next_tick, SimEvent::ProbeSend { src });
         } else {
-            self.probe_cycle_active[src] = false;
+            self.schedule.probe_cycle_active[src] = false;
         }
 
-        let neighbor_count = self.neighbor_sets[src].len();
+        let neighbor_count = self.schedule.neighbor_sets[src].len();
         if neighbor_count == 0 {
             return;
         }
-        let dst = self.neighbor_sets[src][self.round_robin[src] % neighbor_count];
-        self.round_robin[src] = self.round_robin[src].wrapping_add(1);
+        let dst = self.schedule.neighbor_sets[src][self.schedule.round_robin[src] % neighbor_count];
+        self.schedule.round_robin[src] = self.schedule.round_robin[src].wrapping_add(1);
         if dst == src {
             return;
         }
 
         // One raw observation shared by every configuration; the requests go
         // into a reused exchange slot, not a fresh allocation.
-        let draw = self.sample_exchange(env, src, dst, now);
+        let draw = self.schedule.sample_exchange(env, src, dst, now);
         let now_ms = (now * 1_000.0) as u64;
         let slot = self.acquire_slot();
         let seq = {
@@ -997,6 +1087,7 @@ impl EngineState {
                 slot_buffers
                     .requests
                     .push(run.nodes[src].probe_request_for(dst, now_ms));
+                run.metrics.nodes[src].probes_sent += 1;
             }
             slot_buffers.requests[0].seq
         };
@@ -1008,7 +1099,7 @@ impl EngineState {
             SimEvent::ProbeTimeout { src, seq },
         );
 
-        if draw.forward_lost || self.partitioned(src, dst, now) {
+        if draw.forward_lost || self.schedule.partitioned(src, dst, now) {
             self.release_slot(slot);
             return;
         }
@@ -1039,7 +1130,7 @@ impl EngineState {
     ) {
         // A crash between send and delivery silently eats the probe; the
         // prober's timeout reports the loss.
-        if !self.alive[dst] || self.partitioned(src, dst, now) {
+        if !self.schedule.alive[dst] || self.schedule.partitioned(src, dst, now) {
             self.release_slot(slot);
             return;
         }
@@ -1077,7 +1168,7 @@ impl EngineState {
         // lost if the node restarts. A reply crossing a partition that
         // activated while it was in flight is dropped too — every packet
         // across the boundary, in both directions, is lost until the heal.
-        if !self.alive[src] || self.partitioned(src, dst, now) {
+        if !self.schedule.alive[src] || self.schedule.partitioned(src, dst, now) {
             self.release_slot(slot);
             return;
         }
@@ -1099,8 +1190,11 @@ impl EngineState {
                     .iter()
                     .any(|event| matches!(event, Event::ResponseIgnored { .. }));
                 let node_metrics = &mut run.metrics.nodes[src];
-                if measuring && !ignored {
-                    node_metrics.observations += 1;
+                if !ignored {
+                    node_metrics.responses_received += 1;
+                    if measuring {
+                        node_metrics.observations += 1;
+                    }
                 }
                 fold_events(node_metrics, now, measuring, events_scratch);
             }
@@ -1110,19 +1204,20 @@ impl EngineState {
         // Gossip: the probed node hands back one address from its own
         // neighbour set; the prober adds it. Identical across
         // configurations because it only affects the probe schedule.
-        if env.sim_config.gossip && !self.neighbor_sets[dst].is_empty() {
+        if env.sim_config.gossip && !self.schedule.neighbor_sets[dst].is_empty() {
             let idx = self
+                .schedule
                 .protocol_rng
-                .gen_range(0..self.neighbor_sets[dst].len());
-            let learned = self.neighbor_sets[dst][idx];
+                .gen_range(0..self.schedule.neighbor_sets[dst].len());
+            let learned = self.schedule.neighbor_sets[dst][idx];
             if learned != src {
-                self.neighbor_add(src, learned);
+                self.schedule.neighbor_add(src, learned);
             }
         }
     }
 
     fn on_probe_timeout(&mut self, src: usize, seq: u64) {
-        if !self.alive[src] {
+        if !self.schedule.alive[src] {
             return;
         }
         // When a configuration's engine evicts the unresponsive peer
@@ -1156,7 +1251,7 @@ impl EngineState {
         }
         if evicted_by_all {
             if let Some(dst) = target {
-                self.neighbor_remove(src, dst);
+                self.schedule.neighbor_remove(src, dst);
             }
         }
     }
@@ -1186,6 +1281,9 @@ impl EngineState {
         queue: &mut EventQueue<SimEvent>,
     ) {
         let action = env.scenario.events()[index].action.clone();
+        for run in &mut self.runs {
+            run.metrics.scenario_ops += 1;
+        }
         match action {
             ScenarioAction::Join { nodes } => {
                 for node in nodes {
@@ -1194,20 +1292,20 @@ impl EngineState {
             }
             ScenarioAction::Leave { nodes } => {
                 for node in nodes {
-                    self.alive[node] = false;
+                    self.schedule.alive[node] = false;
                     // A graceful leaver says goodbye: every live node drops
                     // it from its probe rotation immediately.
-                    for other in 0..self.neighbor_sets.len() {
-                        self.neighbor_remove(other, node);
+                    for other in 0..self.schedule.neighbor_sets.len() {
+                        self.schedule.neighbor_remove(other, node);
                     }
                 }
             }
             ScenarioAction::Crash { nodes } => {
                 for node in nodes {
-                    if !self.alive[node] {
+                    if !self.schedule.alive[node] {
                         continue;
                     }
-                    self.alive[node] = false;
+                    self.schedule.alive[node] = false;
                     for run_index in 0..self.runs.len() {
                         let snapshot = self.runs[run_index].nodes[node].snapshot();
                         self.crash_snapshots[run_index][node] = Some(snapshot);
@@ -1237,7 +1335,8 @@ impl EngineState {
         for &node in group {
             members[node] = true;
         }
-        self.active_partitions
+        self.schedule
+            .active_partitions
             .push(PartitionWindow { heal_at_s, members });
     }
 
@@ -1253,11 +1352,17 @@ impl EngineState {
         fresh: bool,
         queue: &mut EventQueue<SimEvent>,
     ) {
-        if self.alive[node] {
+        if self.schedule.alive[node] {
             return;
         }
-        self.alive[node] = true;
+        self.schedule.alive[node] = true;
         let now_ms = (now * 1_000.0) as u64;
+        // Expiring the probes that were outstanding at the crash can push a
+        // loss streak over the eviction threshold. Those evictions must reach
+        // the shared probe rotation under the same unanimity rule as timeout
+        // evictions — otherwise the revived node keeps probing a peer every
+        // engine already evicted, and its losses diverge from a deployment.
+        let mut evicted_by_all: Option<Vec<usize>> = None;
         for run_index in 0..self.runs.len() {
             let snapshot = if fresh {
                 None
@@ -1271,18 +1376,36 @@ impl EngineState {
                 None => StableNode::new(run.config.clone()),
             };
             let events = revived.expire_pending(now_ms, 0);
+            let evicted_here: Vec<usize> = events
+                .iter()
+                .filter_map(|event| match event {
+                    Event::NeighborEvicted { id } => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            evicted_by_all = Some(match evicted_by_all {
+                None => evicted_here,
+                Some(previous) => previous
+                    .into_iter()
+                    .filter(|id| evicted_here.contains(id))
+                    .collect(),
+            });
             fold_events(&mut run.metrics.nodes[node], now, false, &events);
             run.nodes[node] = revived;
+        }
+        for target in evicted_by_all.unwrap_or_default() {
+            self.schedule.neighbor_remove(node, target);
         }
         if fresh {
             // A joiner bootstraps a fresh neighbour set of live peers, and
             // announces itself to them (the membership-file introduction of
             // the paper's deployments) so the mesh starts probing it back;
             // gossip spreads its address from there.
-            self.round_robin[node] = 0;
+            self.schedule.round_robin[node] = 0;
             let n = env.topology.len();
             let want = env.sim_config.initial_neighbors.min(
-                self.alive
+                self.schedule
+                    .alive
                     .iter()
                     .filter(|&&up| up)
                     .count()
@@ -1292,30 +1415,31 @@ impl EngineState {
             let mut attempts = 0;
             while set.len() < want && attempts < n * 16 {
                 attempts += 1;
-                let candidate = self.protocol_rng.gen_range(0..n);
-                if candidate != node && self.alive[candidate] && !set.contains(&candidate) {
+                let candidate = self.schedule.protocol_rng.gen_range(0..n);
+                if candidate != node && self.schedule.alive[candidate] && !set.contains(&candidate)
+                {
                     set.push(candidate);
                 }
             }
             for &seed in &set {
-                self.neighbor_add(seed, node);
+                self.schedule.neighbor_add(seed, node);
             }
-            self.neighbor_replace(node, set);
+            self.schedule.neighbor_replace(node, set);
         }
-        if !self.probe_cycle_active[node] {
-            self.probe_cycle_active[node] = true;
+        if !self.schedule.probe_cycle_active[node] {
+            self.schedule.probe_cycle_active[node] = true;
             queue.schedule(now, SimEvent::ProbeSend { src: node });
         }
     }
 }
 
 /// One sampled exchange over a link.
-struct LinkDraw {
-    rtt_ms: f64,
-    forward_delay_s: f64,
-    reverse_delay_s: f64,
-    forward_lost: bool,
-    reverse_lost: bool,
+pub(crate) struct LinkDraw {
+    pub(crate) rtt_ms: f64,
+    pub(crate) forward_delay_s: f64,
+    pub(crate) reverse_delay_s: f64,
+    pub(crate) forward_lost: bool,
+    pub(crate) reverse_lost: bool,
 }
 
 #[cfg(test)]
@@ -1492,9 +1616,21 @@ mod tests {
             sim_config,
             vec![("mp".into(), NodeConfig::paper_defaults())],
         );
-        let before: usize = sim.state.neighbor_sets.iter().map(|s| s.len()).sum();
+        let before: usize = sim
+            .state
+            .schedule
+            .neighbor_sets
+            .iter()
+            .map(|s| s.len())
+            .sum();
         sim.run();
-        let after: usize = sim.state.neighbor_sets.iter().map(|s| s.len()).sum();
+        let after: usize = sim
+            .state
+            .schedule
+            .neighbor_sets
+            .iter()
+            .map(|s| s.len())
+            .sum();
         assert!(
             after > before,
             "gossip should add neighbours ({before} -> {after})"
@@ -1630,7 +1766,7 @@ mod tests {
             "a leaver stops observing"
         );
         // Nobody keeps it in their rotation.
-        for (i, set) in sim.state.neighbor_sets.iter().enumerate() {
+        for (i, set) in sim.state.schedule.neighbor_sets.iter().enumerate() {
             if i != 5 {
                 assert!(!set.contains(&5), "node {i} still probes the leaver");
             }
@@ -1754,7 +1890,7 @@ mod tests {
         let report = sim.run();
         let metrics = report.config("mp").unwrap();
         assert!(metrics.total_probes_lost() > 0, "timeouts fired");
-        for (node, set) in sim.state.neighbor_sets.iter().enumerate() {
+        for (node, set) in sim.state.schedule.neighbor_sets.iter().enumerate() {
             if node != 5 {
                 assert!(
                     !set.contains(&5),

@@ -15,6 +15,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::rand_ext;
 
+/// Largest node count for which the per-pair RTT offsets are pre-drawn into
+/// a dense upper-triangular table at generation time (byte-identical to the
+/// historical behaviour, which every seeded experiment depends on). Larger
+/// topologies derive each offset from a hash of the pair on first use.
+const DENSE_PAIR_OFFSET_LIMIT: usize = 4096;
+
 /// Geographic region of a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Region {
@@ -116,10 +122,17 @@ impl Topology {
                 access_ms,
             });
         }
-        let pair_count = node_count * (node_count - 1) / 2;
-        let pair_offset_ms = (0..pair_count)
-            .map(|_| rand_ext::normal(&mut rng, 0.0, 3.0).abs())
-            .collect();
+        let pair_offset_ms = if node_count <= DENSE_PAIR_OFFSET_LIMIT {
+            let pair_count = node_count * (node_count - 1) / 2;
+            (0..pair_count)
+                .map(|_| rand_ext::normal(&mut rng, 0.0, 3.0).abs())
+                .collect()
+        } else {
+            // The strict upper triangle would need n(n-1)/2 doubles — 17 GB
+            // at 65,536 nodes. Past the threshold the offsets are derived on
+            // demand from a per-pair hash instead (see `pair_offset`).
+            Vec::new()
+        };
         Topology {
             nodes,
             pair_offset_ms,
@@ -204,7 +217,21 @@ impl Topology {
             2.0 * (na.metro_ms + nb.metro_ms) * 0.5
         };
         let access = na.access_ms + nb.access_ms;
-        backbone + intra + access + self.pair_offset_ms[self.pair_index(a, b)]
+        backbone + intra + access + self.pair_offset(a, b)
+    }
+
+    /// The deterministic per-pair RTT offset: a table lookup for topologies
+    /// small enough to pre-draw the triangle, a hash-seeded draw above
+    /// [`DENSE_PAIR_OFFSET_LIMIT`]. Both forms are symmetric and a pure
+    /// function of `(seed, a, b)`.
+    fn pair_offset(&self, a: usize, b: usize) -> f64 {
+        if !self.pair_offset_ms.is_empty() {
+            return self.pair_offset_ms[self.pair_index(a, b)];
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let pair = ((lo as u64) << 32) | hi as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ pair.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rand_ext::normal(&mut rng, 0.0, 3.0).abs()
     }
 
     /// The full symmetric base-RTT matrix (diagonal zero). Useful for
@@ -375,6 +402,25 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn huge_topologies_use_hashed_pair_offsets() {
+        // Above the dense-table limit no triangle is materialised, yet the
+        // base RTT stays deterministic, symmetric and realistically offset.
+        let n = DENSE_PAIR_OFFSET_LIMIT + 8;
+        let a = Topology::generate(n, 77);
+        let b = Topology::generate(n, 77);
+        assert!(a.pair_offset_ms.is_empty(), "no dense table above limit");
+        for &(i, j) in &[(0, 1), (5, n - 1), (n - 2, n - 1), (100, 4000)] {
+            let rtt = a.base_rtt_ms(i, j);
+            assert!(rtt > 0.0);
+            assert_eq!(rtt, a.base_rtt_ms(j, i), "symmetric");
+            assert_eq!(rtt, b.base_rtt_ms(i, j), "deterministic across builds");
+        }
+        // Different seeds give different offsets.
+        let c = Topology::generate(n, 78);
+        assert_ne!(a.base_rtt_ms(0, 1), c.base_rtt_ms(0, 1));
     }
 
     #[test]

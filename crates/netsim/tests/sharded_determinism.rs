@@ -1,0 +1,247 @@
+//! Regression suite for the node-sharded execution path
+//! (`Simulator::with_threads`): partitioning one simulation's engine work
+//! across worker threads must produce a `SimReport` that is
+//! **byte-identical** (serialized form) to the single-threaded run, across
+//! every scenario family — plain runs, lossy links, churn (joins, leaves,
+//! crashes with snapshot restarts), partitions, and coordinate tracking.
+
+use nc_netsim::linkmodel::LinkModelConfig;
+use nc_netsim::planetlab::PlanetLabConfig;
+use nc_netsim::scenario::{Scenario, ScenarioAction};
+use nc_netsim::sim::{SimConfig, Simulator};
+use stable_nc::NodeConfig;
+
+fn encode(simulator: &mut Simulator) -> String {
+    serde::json::to_string(&simulator.run())
+}
+
+/// Byte-compares a serial run against sharded runs at several thread counts.
+fn assert_sharded_matches_serial(build: &dyn Fn() -> Simulator, label: &str) {
+    let serial = encode(&mut build().with_serial_execution(true));
+    assert!(!serial.is_empty());
+    for threads in [1, 2, 3, 4] {
+        let sharded = encode(&mut build().with_threads(threads));
+        assert_eq!(
+            sharded, serial,
+            "{label}: sharded run with {threads} threads diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn plain_run_is_byte_identical_across_thread_counts() {
+    let build = || {
+        let workload = PlanetLabConfig::small(14).with_seed(11);
+        let sim_config = SimConfig::new(700.0, 5.0)
+            .with_measurement_start(100.0)
+            .with_initial_neighbors(4)
+            .with_protocol_seed(0xABCD);
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".to_string(), NodeConfig::paper_defaults())],
+        )
+    };
+    assert_sharded_matches_serial(&build, "plain");
+}
+
+#[test]
+fn lossy_links_are_byte_identical_across_thread_counts() {
+    let build = || {
+        let workload = PlanetLabConfig::small(12).with_seed(7).with_link_config(
+            LinkModelConfig::default()
+                .with_loss_probability(0.05)
+                .with_delay_asymmetry(0.2),
+        );
+        let sim_config = SimConfig::new(800.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4);
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".to_string(), NodeConfig::paper_defaults())],
+        )
+    };
+    assert_sharded_matches_serial(&build, "lossy");
+}
+
+#[test]
+fn crash_restart_churn_is_byte_identical_across_thread_counts() {
+    // Crashes hold pending probes in their snapshots; restarts expire them
+    // (possibly evicting peers from the rotation). Both effects must land
+    // identically no matter which shard owns the node.
+    let build = || {
+        let workload = PlanetLabConfig::small(12)
+            .with_seed(5)
+            .with_link_config(LinkModelConfig::default().with_loss_probability(0.02));
+        let sim_config = SimConfig::new(900.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4)
+            .with_tracked_nodes(vec![0, 5], 60.0);
+        let scenario = Scenario::crash_restart(vec![1, 2, 7], 300.0, 450.0);
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![(
+                "mp".to_string(),
+                NodeConfig::builder().max_consecutive_losses(3).build(),
+            )],
+        )
+        .with_scenario(scenario)
+    };
+    assert_sharded_matches_serial(&build, "crash-restart");
+}
+
+#[test]
+fn joins_leaves_and_partitions_are_byte_identical_across_thread_counts() {
+    let build = || {
+        let workload = PlanetLabConfig::small(14).with_seed(13);
+        let sim_config = SimConfig::new(900.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(4);
+        let scenario = Scenario::new()
+            .with_initially_down(vec![12, 13])
+            .at(
+                200.0,
+                ScenarioAction::Join {
+                    nodes: vec![12, 13],
+                },
+            )
+            .at(350.0, ScenarioAction::Leave { nodes: vec![3] })
+            .at(
+                500.0,
+                ScenarioAction::Partition {
+                    group: vec![0, 1, 2, 4],
+                    heal_at_s: 650.0,
+                },
+            );
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![("mp".to_string(), NodeConfig::paper_defaults())],
+        )
+        .with_scenario(scenario)
+    };
+    assert_sharded_matches_serial(&build, "join-leave-partition");
+}
+
+#[test]
+fn multi_config_sharded_run_matches_serial() {
+    // Sharding composes with side-by-side configurations: every worker runs
+    // all configurations for its nodes, and the merged report must equal the
+    // interleaved serial run.
+    let build = || {
+        let workload = PlanetLabConfig::small(10).with_seed(3);
+        let sim_config = SimConfig::new(600.0, 5.0)
+            .with_measurement_start(100.0)
+            .with_initial_neighbors(3);
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![
+                ("mp".to_string(), NodeConfig::paper_defaults()),
+                ("raw".to_string(), NodeConfig::original_vivaldi()),
+            ],
+        )
+    };
+    assert_sharded_matches_serial(&build, "multi-config");
+}
+
+#[test]
+fn differing_eviction_thresholds_fall_back_to_serial() {
+    // with_threads is a no-op when eviction thresholds differ across
+    // configurations — the coupled unanimity rule needs the serial path.
+    // The report must still match the explicit serial run.
+    let build = || {
+        let workload = PlanetLabConfig::small(8).with_seed(9);
+        let sim_config = SimConfig::new(600.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(3)
+            .with_gossip(false);
+        let scenario = Scenario::new().at(150.0, ScenarioAction::Crash { nodes: vec![4] });
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![
+                (
+                    "evict3".to_string(),
+                    NodeConfig::builder().max_consecutive_losses(3).build(),
+                ),
+                (
+                    "evict5".to_string(),
+                    NodeConfig::builder().max_consecutive_losses(5).build(),
+                ),
+            ],
+        )
+        .with_scenario(scenario)
+    };
+    let serial = encode(&mut build().with_serial_execution(true));
+    let sharded = encode(&mut build().with_threads(4));
+    assert_eq!(sharded, serial);
+}
+
+#[test]
+fn restart_expiry_evictions_reach_the_shared_rotation() {
+    // Regression test for a latent neighbor-bookkeeping bug surfaced while
+    // building the sharded planner: a node that crashes holding pending
+    // probes whose expiry-at-restart pushes a loss streak over the eviction
+    // threshold must drop that peer from the *shared* probe rotation, not
+    // just from its engine's neighbor table. Before the fix the revived
+    // node kept probing the evicted peer forever (the engine ignored the
+    // replies as uncorrelated), so its loss accounting diverged from a
+    // deployment — and the sharded planner, which mirrors engine evictions
+    // exactly, diverged from the serial path.
+    //
+    // Setup: node 0 probes only node 1 (no gossip, one initial neighbor,
+    // two-node mesh). Node 1 crashes silently at t=100, so probes from
+    // t=100 on all time out (15 s timeout): losses land at t=115, 120, 125
+    // — a streak of 3 against max_consecutive_losses(4). Node 0 crashes at
+    // t=127 holding three probes in flight and restarts at t=200: expiring
+    // them pushes the streak to the threshold, evicting node 1. If the
+    // eviction reaches the rotation, node 0's neighbor set is empty after
+    // the restart and its loss count freezes at 4; with the bug it keeps
+    // probing the already-evicted peer and racks up further losses.
+    let build = |serial: bool, threads: Option<usize>| {
+        let workload = PlanetLabConfig::small(2).with_seed(1);
+        let sim_config = SimConfig::new(600.0, 5.0)
+            .with_measurement_start(0.0)
+            .with_initial_neighbors(1)
+            .with_gossip(false);
+        let scenario = Scenario::new()
+            .at(100.0, ScenarioAction::Crash { nodes: vec![1] })
+            .at(127.0, ScenarioAction::Crash { nodes: vec![0] })
+            .at(200.0, ScenarioAction::Restart { nodes: vec![0] });
+        let mut simulator = Simulator::new(
+            workload,
+            sim_config,
+            vec![(
+                "mp".to_string(),
+                NodeConfig::builder().max_consecutive_losses(4).build(),
+            )],
+        )
+        .with_scenario(scenario)
+        .with_serial_execution(serial);
+        if let Some(threads) = threads {
+            simulator = simulator.with_threads(threads);
+        }
+        simulator
+    };
+
+    let report = build(true, None).run();
+    let metrics = report.config("mp").unwrap();
+    let lost = metrics.nodes[0].probes_lost;
+    // Three timeout losses before the crash plus the expiry loss at the
+    // restart (eviction releases the other two in-flight probes without
+    // counting them). Without the fix the revived node re-registers the
+    // evicted peer and loses another streak's worth before re-evicting.
+    assert!(
+        lost <= 5,
+        "restart-expiry eviction must stop the probe cycle (lost {lost} probes)"
+    );
+    assert_eq!(metrics.nodes[0].neighbors_evicted, 1);
+
+    // And the sharded planner mirrors the same eviction.
+    let serial = encode(&mut build(true, None));
+    let sharded = encode(&mut build(false, Some(2)));
+    assert_eq!(sharded, serial);
+}
