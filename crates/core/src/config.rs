@@ -8,7 +8,7 @@ use nc_filters::{
     EwmaFilter, LatencyFilter, MovingMedianFilter, MovingPercentileFilter, RawFilter,
     ThresholdFilter, WarmupFilter,
 };
-use nc_vivaldi::VivaldiConfig;
+use nc_vivaldi::{OutlierGateConfig, VivaldiConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which per-link filter a node applies to raw latency observations.
@@ -245,6 +245,15 @@ pub struct NodeConfig {
     /// the paper's deployments never pruned membership, so that remains the
     /// default.
     pub max_consecutive_losses: Option<u32>,
+    /// When set, a MAD-based outlier gate sits between the per-link filter
+    /// and the Vivaldi update: observations whose filtered RTT is wildly
+    /// inconsistent with the coordinate-predicted distance are rejected
+    /// (surfaced as `Event::ObservationRejected`), their piggybacked gossip
+    /// is dropped with them, and remote error estimates are floored so a
+    /// liar cannot claim perfect confidence. `None` — the default, and the
+    /// paper's behaviour — runs every filtered observation straight into
+    /// Vivaldi.
+    pub outlier_gate: Option<OutlierGateConfig>,
 }
 
 impl NodeConfig {
@@ -258,6 +267,7 @@ impl NodeConfig {
             heuristic: HeuristicConfig::paper_energy(),
             warmup_samples: 0,
             max_consecutive_losses: None,
+            outlier_gate: None,
         }
     }
 
@@ -271,6 +281,7 @@ impl NodeConfig {
             heuristic: HeuristicConfig::FollowSystem,
             warmup_samples: 0,
             max_consecutive_losses: None,
+            outlier_gate: None,
         }
     }
 
@@ -339,6 +350,13 @@ impl NodeConfigBuilder {
         self
     }
 
+    /// Enables the MAD-based outlier gate between the per-link filter and
+    /// the Vivaldi update (see [`OutlierGateConfig`]).
+    pub fn outlier_gate(mut self, gate: OutlierGateConfig) -> Self {
+        self.config.outlier_gate = Some(gate);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> NodeConfig {
         self.config
@@ -378,6 +396,17 @@ mod tests {
         assert_eq!(c.heuristic.kind(), Some(HeuristicKind::Application));
         assert_eq!(c.warmup_samples, 2);
         assert_eq!(c.vivaldi.dimensions(), 2);
+    }
+
+    #[test]
+    fn outlier_gate_is_off_everywhere_by_default() {
+        assert!(NodeConfig::paper_defaults().outlier_gate.is_none());
+        assert!(NodeConfig::original_vivaldi().outlier_gate.is_none());
+        assert!(NodeConfig::default().outlier_gate.is_none());
+        let gated = NodeConfig::builder()
+            .outlier_gate(OutlierGateConfig::default())
+            .build();
+        assert_eq!(gated.outlier_gate, Some(OutlierGateConfig::default()));
     }
 
     #[test]

@@ -111,4 +111,4 @@ pub use nc_proto::{
     Event, GossipEntry, NodeSnapshot, ProbeRequest, ProbeResponse, WireError, WireMessage,
     PROTOCOL_VERSION,
 };
-pub use nc_vivaldi::{Coordinate, VivaldiConfig};
+pub use nc_vivaldi::{Coordinate, OutlierGateConfig, VivaldiConfig};

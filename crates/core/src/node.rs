@@ -13,7 +13,7 @@ use nc_proto::{
     Event, GossipEntry, LinkSnapshot, NodeSnapshot, PendingProbe, ProbeRequest, ProbeResponse,
     PROTOCOL_VERSION,
 };
-use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiState};
+use nc_vivaldi::{Coordinate, OutlierGate, RemoteObservation, VivaldiState};
 
 use crate::config::NodeConfig;
 
@@ -255,6 +255,13 @@ pub struct StableNode<Id: Eq + Hash + Clone> {
     /// drivers exposed to untrusted traffic (the UDP transport); simulated
     /// and hand-fed drivers inherit strictness from issuing probes.
     require_correlation: bool,
+    /// MAD-based outlier gate over observation residuals, built when the
+    /// configuration enables it. The gate's window is runtime state that is
+    /// deliberately *not* snapshotted: a restored node re-warms the gate
+    /// (accepting everything for `min_samples` observations), which is the
+    /// safe direction — its coordinate may have drifted while it was down,
+    /// so the old residual distribution no longer applies.
+    gate: Option<OutlierGate>,
 }
 
 impl<Id: Eq + Hash + Clone + std::fmt::Debug> std::fmt::Debug for StableNode<Id> {
@@ -281,6 +288,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
     /// origin with no confidence, exactly like a freshly booted Vivaldi
     /// participant.
     pub fn new(config: NodeConfig) -> Self {
+        let gate = config.outlier_gate.clone().map(OutlierGate::new);
         let vivaldi = VivaldiState::new(config.vivaldi.clone());
         let initial = vivaldi.coordinate().clone();
         let (application, follow_system) = match config.heuristic.build() {
@@ -310,6 +318,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             gossip_cursor: 0,
             pending: Vec::new(),
             require_correlation: false,
+            gate,
         }
     }
 
@@ -748,33 +757,16 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 id: response.responder.clone(),
             });
         }
-        let dimensions = self.config.vivaldi.dimensions();
-        for entry in &response.gossip {
-            // Our own address coming back around through gossip is not a
-            // neighbour, and a coordinate from a different-dimensional
-            // deployment is not usable information.
-            if self.identity.as_ref() == Some(&entry.id)
-                || entry.coordinate.dimensions() != dimensions
-            {
-                continue;
-            }
-            if self.register_member(entry.id.clone()) {
-                events.push(Event::NeighborDiscovered {
-                    id: entry.id.clone(),
-                });
-            }
-            // Gossip seeds the neighbour table so the peer can itself be
-            // gossiped onward, but never overwrites first-hand state.
-            let peer = self.peers.entry(entry.id.clone()).or_default();
-            if peer.neighbor.is_none() {
-                peer.neighbor = Some(NeighborSnapshot {
-                    coordinate: entry.coordinate.clone(),
-                    error_estimate: entry.error_estimate,
-                    filtered_rtt_ms: None,
-                    observations: 0,
-                });
-            }
+        if self.gate.is_some() {
+            // The outlier gate changes the shape of the digest — a rejected
+            // observation must drop its piggybacked gossip too — so the
+            // gated flow lives in its own function. With the gate off
+            // (`outlier_gate: None`, the default) the path below is the
+            // engine's unmodified behaviour.
+            self.handle_gated_observation(response, events);
+            return;
         }
+        self.ingest_gossip(response, events);
 
         let id = response.responder.clone();
         let outcome = self.observe(
@@ -808,6 +800,120 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                     }
                 }
             },
+        }
+    }
+
+    /// Registers the peers a response gossips along: new ones enter the
+    /// probe rotation (with an [`Event::NeighborDiscovered`] each) and seed
+    /// the neighbour table, but gossip never overwrites first-hand state.
+    fn ingest_gossip(&mut self, response: &ProbeResponse<Id>, events: &mut Vec<Event<Id>>) {
+        let dimensions = self.config.vivaldi.dimensions();
+        for entry in &response.gossip {
+            // Our own address coming back around through gossip is not a
+            // neighbour, and a coordinate from a different-dimensional
+            // deployment is not usable information.
+            if self.identity.as_ref() == Some(&entry.id)
+                || entry.coordinate.dimensions() != dimensions
+            {
+                continue;
+            }
+            if self.register_member(entry.id.clone()) {
+                events.push(Event::NeighborDiscovered {
+                    id: entry.id.clone(),
+                });
+            }
+            // Gossip seeds the neighbour table so the peer can itself be
+            // gossiped onward, but never overwrites first-hand state.
+            let peer = self.peers.entry(entry.id.clone()).or_default();
+            if peer.neighbor.is_none() {
+                peer.neighbor = Some(NeighborSnapshot {
+                    coordinate: entry.coordinate.clone(),
+                    error_estimate: entry.error_estimate,
+                    filtered_rtt_ms: None,
+                    observations: 0,
+                });
+            }
+        }
+    }
+
+    /// The observation digest with the MAD outlier gate armed.
+    ///
+    /// Same pipeline as the ungated path — filter, then Vivaldi, then the
+    /// application heuristic — with the gate's plausibility check wedged
+    /// between the first two stages: the filtered RTT is compared against
+    /// the distance this node's own coordinate predicts to the peer's
+    /// *claimed* coordinate, and an observation whose residual falls far
+    /// outside the recent (robust) residual distribution is rejected before
+    /// it can move the spring. A rejected reply is dropped whole, exactly
+    /// like an uncorrelated one: its gossip is a Byzantine peer's choice of
+    /// membership poison, so it must not outlive the observation it rode on.
+    fn handle_gated_observation(
+        &mut self,
+        response: &ProbeResponse<Id>,
+        events: &mut Vec<Event<Id>>,
+    ) {
+        let id = response.responder.clone();
+        let filtered = if response.coordinate.dimensions() == self.config.vivaldi.dimensions() {
+            self.filter_stage(
+                &id,
+                &response.coordinate,
+                response.error_estimate,
+                response.rtt_ms,
+            )
+        } else {
+            None
+        };
+        let Some(filtered_rtt_ms) = filtered else {
+            // The filter withheld its estimate (warm-up, threshold cut):
+            // nothing reached the update path, so nothing is gated. The
+            // gossip is kept — dropping it on every warm-up sample would
+            // stall discovery before the gate has anything to judge.
+            self.ingest_gossip(response, events);
+            events.push(Event::ObservationFiltered {
+                id,
+                raw_rtt_ms: response.rtt_ms,
+            });
+            return;
+        };
+        // Residual against the *pre-update* coordinate, mirroring how the
+        // relative-error metric is measured.
+        let predicted_ms = self.vivaldi.coordinate().distance(&response.coordinate);
+        let residual_ms = filtered_rtt_ms - predicted_ms;
+        let gate = self.gate.as_mut().expect("gated path requires the gate");
+        if !gate.admits(residual_ms) {
+            events.push(Event::ObservationRejected {
+                id,
+                filtered_rtt_ms,
+            });
+            return;
+        }
+        gate.record(residual_ms);
+        // A liar advertising near-zero error would take close to the
+        // maximum sample weight w_s = e_i / (e_i + e_j); flooring the
+        // claimed confidence bounds how hard any single peer can pull.
+        let remote_error = response.error_estimate.max(gate.config().min_remote_error);
+        self.ingest_gossip(response, events);
+        let outcome =
+            self.vivaldi_stage(response.coordinate.clone(), remote_error, filtered_rtt_ms);
+        match outcome.relative_error {
+            None => events.push(Event::ObservationRejected {
+                id,
+                filtered_rtt_ms,
+            }),
+            Some(relative_error) => {
+                events.push(Event::SystemMoved {
+                    id,
+                    filtered_rtt_ms,
+                    displacement_ms: outcome.system_displacement_ms,
+                    relative_error,
+                    application_relative_error: outcome
+                        .application_relative_error
+                        .unwrap_or(f64::NAN),
+                });
+                if let Some(update) = outcome.application_update {
+                    events.push(Event::ApplicationUpdated { update });
+                }
+            }
         }
     }
 
@@ -1009,6 +1115,31 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 application_update: None,
             };
         }
+        let Some(filtered_rtt) =
+            self.filter_stage(&id, &remote_coordinate, remote_error_estimate, raw_rtt_ms)
+        else {
+            return ObservationOutcome {
+                filtered_rtt_ms: None,
+                relative_error: None,
+                application_relative_error: None,
+                system_displacement_ms: 0.0,
+                application_update: None,
+            };
+        };
+        self.vivaldi_stage(remote_coordinate, remote_error_estimate, filtered_rtt)
+    }
+
+    /// First half of the observation pipeline: accounting, membership, the
+    /// per-link latency filter and the neighbour snapshot. Returns the
+    /// filtered RTT when the filter released an estimate. The caller has
+    /// already ruled out self-observations and dimension mismatches.
+    fn filter_stage(
+        &mut self,
+        id: &Id,
+        remote_coordinate: &Coordinate,
+        remote_error_estimate: f64,
+        raw_rtt_ms: f64,
+    ) -> Option<f64> {
         self.observations += 1;
         self.register_member(id.clone());
 
@@ -1017,7 +1148,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         // live in the same `PeerState`.
         let peer = self
             .peers
-            .get_mut(&id)
+            .get_mut(id)
             .expect("register_member keeps every observed peer in the table");
         let filter = peer
             .filter
@@ -1036,15 +1167,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             observations: link_observations,
         });
 
-        let Some(filtered_rtt) = filtered else {
-            return ObservationOutcome {
-                filtered_rtt_ms: None,
-                relative_error: None,
-                application_relative_error: None,
-                system_displacement_ms: 0.0,
-                application_update: None,
-            };
-        };
+        let filtered_rtt = filtered?;
 
         // Maintain the approximate nearest neighbour (used by RELATIVE).
         match &self.nearest_neighbor {
@@ -1052,7 +1175,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
             Some((current_id, current_rtt)) => {
                 if filtered_rtt < *current_rtt {
                     self.nearest_neighbor = Some((id.clone(), filtered_rtt));
-                } else if *current_id == id {
+                } else if current_id == id {
                     // The incumbent's filtered RTT rose: it may no longer be
                     // the nearest, so re-evaluate against the whole table
                     // (the updated entry for `id` is already in place).
@@ -1060,7 +1183,18 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 }
             }
         }
+        Some(filtered_rtt)
+    }
 
+    /// Second half of the observation pipeline: the Vivaldi spring update
+    /// and the application-level heuristic, fed a filtered RTT that already
+    /// cleared the filter (and, on the gated path, the outlier gate).
+    fn vivaldi_stage(
+        &mut self,
+        remote_coordinate: Coordinate,
+        remote_error_estimate: f64,
+        filtered_rtt: f64,
+    ) -> ObservationOutcome {
         // Application-level accuracy is measured against the observation
         // *before* any update, like the system-level error.
         let app_error = nc_vivaldi::relative_error(
@@ -2024,5 +2158,170 @@ mod tests {
             .build();
         let err = Node::restore(config_ewma, &snapshot).unwrap_err();
         assert!(matches!(err, RestoreError::Filter(_)), "{err}");
+    }
+
+    // -----------------------------------------------------------------
+    // Outlier gate
+    // -----------------------------------------------------------------
+
+    fn gated_config() -> NodeConfig {
+        NodeConfig::builder()
+            .filter(FilterConfig::Raw)
+            .outlier_gate(nc_vivaldi::OutlierGateConfig::default())
+            .build()
+    }
+
+    /// Warms a gated prober against an honest target until the gate is past
+    /// its warm-up, returning the prober, the target and the next probe
+    /// timestamp.
+    fn warmed_gated_prober(config: NodeConfig) -> (Node, Node, u64) {
+        let mut prober = Node::new(config);
+        let mut target = Node::new(NodeConfig::paper_defaults());
+        let mut now = 0;
+        for _ in 0..30 {
+            exchange(&mut prober, &mut target, 1, 50.0, now);
+            exchange(&mut target, &mut prober, 0, 50.0, now);
+            now += 1_000;
+        }
+        (prober, target, now)
+    }
+
+    /// A correlated response from peer `1` claiming a coordinate far from
+    /// anything a 50 ms link could explain, with a gossip entry riding on
+    /// it.
+    fn lying_response(prober: &mut Node, now: u64) -> ProbeResponse<u32> {
+        let request = prober.probe_request_for(1, now);
+        let fake = Coordinate::new(vec![5_000.0, 0.0, 0.0]).unwrap();
+        let mut response = ProbeResponse::new(1, &request, fake, 0.001);
+        response.rtt_ms = 50.0;
+        response.gossip.push(GossipEntry {
+            id: 777,
+            coordinate: Coordinate::new(vec![1.0, 2.0, 3.0]).unwrap(),
+            error_estimate: 0.3,
+        });
+        response
+    }
+
+    #[test]
+    fn gate_rejects_implausible_observations_and_drops_their_gossip() {
+        let (mut prober, _target, now) = warmed_gated_prober(gated_config());
+        let response = lying_response(&mut prober, now);
+        let events = prober.handle_response(&response);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::ObservationRejected { id: 1, .. })),
+            "{events:?}"
+        );
+        // The whole reply is dropped: the gossiped peer 777 must not enter
+        // membership, the neighbour table, or the probe rotation.
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, Event::NeighborDiscovered { id: 777 })),
+            "{events:?}"
+        );
+        assert!(!prober.membership().contains(&777));
+        assert!(prober.neighbors().all(|(id, _)| *id != 777));
+        // And the spring never moved.
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, Event::SystemMoved { .. })),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn ungated_node_accepts_the_same_lying_response() {
+        let config = NodeConfig::builder().filter(FilterConfig::Raw).build();
+        let (mut prober, _target, now) = warmed_gated_prober(config);
+        let response = lying_response(&mut prober, now);
+        let events = prober.handle_response(&response);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SystemMoved { .. })),
+            "{events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::NeighborDiscovered { id: 777 })));
+        assert!(prober.membership().contains(&777));
+    }
+
+    #[test]
+    fn gate_admits_an_honest_stream_untouched() {
+        let (mut prober, mut target, mut now) = warmed_gated_prober(gated_config());
+        let mut moved = 0;
+        for _ in 0..40 {
+            let events = exchange(&mut prober, &mut target, 1, 50.0, now);
+            exchange(&mut target, &mut prober, 0, 50.0, now);
+            assert!(
+                !events
+                    .iter()
+                    .any(|e| matches!(e, Event::ObservationRejected { .. })),
+                "honest observation rejected: {events:?}"
+            );
+            moved += events
+                .iter()
+                .filter(|e| matches!(e, Event::SystemMoved { .. }))
+                .count();
+            now += 1_000;
+        }
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn gate_keeps_accepting_honest_observations_after_an_attack() {
+        let (mut prober, mut target, mut now) = warmed_gated_prober(gated_config());
+        for _ in 0..5 {
+            let response = lying_response(&mut prober, now);
+            let events = prober.handle_response(&response);
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::ObservationRejected { id: 1, .. })));
+            now += 1_000;
+        }
+        let events = exchange(&mut prober, &mut target, 1, 50.0, now);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SystemMoved { .. })),
+            "honest follow-up rejected: {events:?}"
+        );
+    }
+
+    #[test]
+    fn gated_node_converges_like_an_ungated_one_on_honest_links() {
+        let (gated, _) = converge_pair(gated_config(), 100.0, 400);
+        let (plain, reference) = converge_pair(
+            NodeConfig::builder().filter(FilterConfig::Raw).build(),
+            100.0,
+            400,
+        );
+        let gated_estimate = gated.estimate_rtt_ms(reference.system_coordinate());
+        let plain_estimate = plain.estimate_rtt_ms(reference.system_coordinate());
+        // `observe` bypasses the gate (it is a response-path defense), so
+        // both stacks run the identical update sequence here.
+        assert!((gated_estimate - plain_estimate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_rewarns_after_restore() {
+        let (prober, _target, now) = warmed_gated_prober(gated_config());
+        let snapshot = prober.snapshot();
+        let mut revived = Node::restore(gated_config(), &snapshot).unwrap();
+        // The gate window is runtime state and is not persisted: right
+        // after restore the gate is in warm-up and even an implausible
+        // observation passes (and the reply's gossip with it).
+        let response = lying_response(&mut revived, now);
+        let events = revived.handle_response(&response);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SystemMoved { .. })),
+            "{events:?}"
+        );
     }
 }

@@ -1,0 +1,17 @@
+//! Figure 15 (extension): liar tolerance with and without the outlier gate.
+//!
+//! Usage: `cargo run --release --bin fig15_liar_tolerance [quick|standard|paper]`
+
+use nc_experiments::fig15::{run, Fig15Config};
+use nc_experiments::Scale;
+
+fn main() {
+    let scale = nc_experiments::scale_from_args();
+    eprintln!("running fig15 at scale '{scale}' ...");
+    let config = match scale {
+        Scale::Quick => Fig15Config::quick(),
+        _ => Fig15Config::standard(),
+    };
+    let result = run(config);
+    println!("{}", result.render());
+}

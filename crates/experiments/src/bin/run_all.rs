@@ -11,7 +11,7 @@
 
 use nc_experiments::{
     fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
-    table1, Scale,
+    fig15, table1, Scale,
 };
 use nc_netsim::sim::SimConfig;
 
@@ -37,6 +37,7 @@ fn main() {
         track_interval_s: 60.0,
         protocol_seed: 0xF00D,
         probe_timeout_s: scale.probe_interval_s() * 3.0,
+        adversary: None,
     };
     if let Err(error) = schedule.validate() {
         eprintln!("invalid simulation schedule for scale '{scale}': {error}");
@@ -193,6 +194,17 @@ fn main() {
                     fig14::Fig14Config::quick()
                 } else {
                     fig14::Fig14Config::standard()
+                })
+                .render()
+            }),
+        ),
+        (
+            "Figure 15",
+            Box::new(move || {
+                fig15::run(if quick {
+                    fig15::Fig15Config::quick()
+                } else {
+                    fig15::Fig15Config::standard()
                 })
                 .render()
             }),

@@ -36,6 +36,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig15;
 pub mod report;
 pub mod sweeps;
 pub mod table1;

@@ -29,8 +29,12 @@
 //!   stalled schedule.
 //! * [`scenario`] — scripted churn replayed by the simulator: joins and
 //!   flash crowds, graceful leaves, crashes with snapshot-based restarts
-//!   (the `nc-proto` persist/restore path, end to end) and node-group or
-//!   regional partitions.
+//!   (the `nc-proto` persist/restore path, end to end), node-group or
+//!   regional partitions, and mid-run Byzantine compromise
+//!   (`SetAdversary`).
+//! * [`adversary`] — Byzantine behaviours injected at the schedule layer:
+//!   coordinate liars, delay attackers and jitter bombs, assigned to a
+//!   seeded fraction of the population or scripted per node.
 //! * [`metrics`] — collection of the paper's metrics: per-node relative
 //!   error distributions, per-node and aggregate instability,
 //!   application-update rates and probe-loss counts, with warm-up exclusion
@@ -86,6 +90,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod adversary;
 pub mod cluster;
 pub mod linkmodel;
 pub mod metrics;
@@ -97,6 +102,7 @@ pub mod sim;
 pub mod topology;
 pub mod trace;
 
+pub use adversary::{AdversaryConfig, AdversaryModel};
 pub use cluster::ClusterModel;
 pub use linkmodel::{LinkModel, LinkModelConfig};
 pub use metrics::{ConfigMetrics, NodeMetrics, SimReport};

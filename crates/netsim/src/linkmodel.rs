@@ -22,6 +22,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::rand_ext;
+use crate::sim::ConfigError;
 
 /// Tuning of the observation model, shared by every link of a workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,6 +62,20 @@ pub struct LinkModelConfig {
     /// modelling asymmetric routes whose forward path is consistently
     /// longer than the reverse.
     pub delay_asymmetry: f64,
+    /// Per-step standard deviation of the multiplicative random-walk drift
+    /// in log space (default 0.0: no walk). Every `drift_walk_step_s`
+    /// seconds the underlying base RTT level is multiplied by
+    /// `exp(N(0, sigma))`, and the level is linearly interpolated between
+    /// steps — the slow, persistent base-RTT migration over simulated hours
+    /// that the paper's stability filters exist to track, as opposed to the
+    /// bounded sinusoidal `drift_amplitude`. Levels are clamped to
+    /// `[0.25, 4.0]` so an unlucky walk stays physical. Like
+    /// `loss_probability`, the walk consumes randomness only when enabled,
+    /// so sigma-0 configs keep their exact observation streams.
+    pub drift_walk_sigma: f64,
+    /// Step length of the random-walk drift in seconds (default 1800.0:
+    /// the base level takes a new step every simulated half hour).
+    pub drift_walk_step_s: f64,
 }
 
 impl Default for LinkModelConfig {
@@ -75,6 +90,8 @@ impl Default for LinkModelConfig {
             min_rtt_ms: 0.3,
             loss_probability: 0.0,
             delay_asymmetry: 0.0,
+            drift_walk_sigma: 0.0,
+            drift_walk_step_s: 1800.0,
         }
     }
 }
@@ -93,6 +110,8 @@ impl LinkModelConfig {
             min_rtt_ms: 0.3,
             loss_probability: 0.0,
             delay_asymmetry: 0.0,
+            drift_walk_sigma: 0.0,
+            drift_walk_step_s: 1800.0,
         }
     }
 
@@ -120,6 +139,35 @@ impl LinkModelConfig {
         self.delay_asymmetry = a;
         self
     }
+
+    /// Enables the random-walk base-RTT drift: per-step log-space standard
+    /// deviation `sigma`, one step every `step_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters fail [`LinkModelConfig::validate`].
+    pub fn with_drift_walk(mut self, sigma: f64, step_s: f64) -> Self {
+        self.drift_walk_sigma = sigma;
+        self.drift_walk_step_s = step_s;
+        if let Err(error) = self.validate() {
+            panic!("invalid drift walk: {error}");
+        }
+        self
+    }
+
+    /// Checks the drift-walk parameters: the step must be a positive finite
+    /// period and the magnitude a finite non-negative number. Called by
+    /// [`crate::Simulator::new`] so malformed drift regimes fail fast
+    /// instead of silently producing NaN latencies.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.drift_walk_step_s.is_finite() && self.drift_walk_step_s > 0.0) {
+            return Err(ConfigError::DriftPeriodNotPositive(self.drift_walk_step_s));
+        }
+        if !(self.drift_walk_sigma.is_finite() && self.drift_walk_sigma >= 0.0) {
+            return Err(ConfigError::DriftMagnitudeNotFinite(self.drift_walk_sigma));
+        }
+        Ok(())
+    }
 }
 
 /// A route-change event: from `at_s` onward the base RTT is multiplied by
@@ -142,6 +190,11 @@ pub struct LinkModel {
     /// Fixed forward-path share of the RTT: the forward one-way delay is
     /// `rtt / 2 * (1 + asymmetry_factor)`. Zero for symmetric links.
     asymmetry_factor: f64,
+    /// Precomputed multiplicative random-walk levels, one per
+    /// `drift_walk_step_s`; empty when the walk is disabled.
+    /// `underlying_rtt_ms` interpolates linearly between consecutive levels
+    /// so the migration is slow and continuous rather than a staircase.
+    walk_levels: Vec<f64>,
 }
 
 impl LinkModel {
@@ -191,6 +244,23 @@ impl LinkModel {
         } else {
             0.0
         };
+        // Drawn last and only when enabled: sigma-0 links (every pre-walk
+        // workload) consume no extra randomness, keeping their observation
+        // streams byte-identical.
+        let walk_levels = if config.drift_walk_sigma > 0.0 {
+            let steps = (duration_s.max(0.0) / config.drift_walk_step_s).ceil() as usize + 1;
+            let mut levels = Vec::with_capacity(steps + 1);
+            let mut level = 1.0f64;
+            levels.push(level);
+            for _ in 0..steps {
+                level *= rand_ext::lognormal(&mut rng, 0.0, config.drift_walk_sigma);
+                level = level.clamp(0.25, 4.0);
+                levels.push(level);
+            }
+            levels
+        } else {
+            Vec::new()
+        };
         LinkModel {
             base_rtt_ms,
             config,
@@ -199,6 +269,7 @@ impl LinkModel {
             drift_period_s,
             shifts,
             asymmetry_factor,
+            walk_levels,
         }
     }
 
@@ -220,7 +291,18 @@ impl LinkModel {
         let drift = 1.0
             + self.config.drift_amplitude
                 * (std::f64::consts::TAU * time_s / self.drift_period_s + self.drift_phase).sin();
-        (rtt * drift).max(self.config.min_rtt_ms)
+        rtt *= drift;
+        if !self.walk_levels.is_empty() {
+            let last = self.walk_levels.len() - 1;
+            let position = (time_s.max(0.0) / self.config.drift_walk_step_s).min(last as f64);
+            let index = (position.floor() as usize).min(last);
+            let next = (index + 1).min(last);
+            let fraction = position - index as f64;
+            let level = self.walk_levels[index]
+                + (self.walk_levels[next] - self.walk_levels[index]) * fraction;
+            rtt *= level;
+        }
+        rtt.max(self.config.min_rtt_ms)
     }
 
     /// Draws one observed RTT at time `time_s` (milliseconds).
@@ -447,6 +529,88 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn loss_probability_must_be_a_probability() {
         let _ = LinkModelConfig::default().with_loss_probability(1.5);
+    }
+
+    #[test]
+    fn disabled_drift_walk_preserves_the_observation_stream() {
+        // A sigma-0 walk draws nothing at construction, so the whole
+        // downstream jitter/outlier stream is byte-identical whatever the
+        // step length is set to.
+        let stepped = LinkModelConfig {
+            drift_walk_step_s: 60.0,
+            ..LinkModelConfig::default()
+        };
+        let mut a = model(70.0, 41);
+        let mut b = LinkModel::new(70.0, stepped, 4.0 * 3600.0, 41);
+        for t in 0..200 {
+            assert_eq!(a.sample(t as f64), b.sample(t as f64));
+        }
+        assert_eq!(a.underlying_rtt_ms(1234.5), b.underlying_rtt_ms(1234.5));
+    }
+
+    #[test]
+    fn drift_walk_migrates_the_underlying_latency_over_hours() {
+        let config = LinkModelConfig::clean().with_drift_walk(0.2, 1800.0);
+        let mut moved = false;
+        for seed in 0..8 {
+            let m = LinkModel::new(100.0, config.clone(), 8.0 * 3600.0, seed);
+            let early = m.underlying_rtt_ms(0.0);
+            let late = m.underlying_rtt_ms(6.0 * 3600.0);
+            // Levels are clamped so the walk stays physical.
+            assert!((100.0 * 0.25 - 1e-9..=100.0 * 4.0 + 1e-9).contains(&late));
+            if (late - early).abs() > 5.0 {
+                moved = true;
+            }
+        }
+        assert!(moved, "an hours-long walk should visibly migrate the base");
+    }
+
+    #[test]
+    fn drift_walk_interpolates_between_steps() {
+        // Between two step boundaries the underlying latency moves
+        // monotonically from one level towards the next — a ramp, not a
+        // staircase.
+        let config = LinkModelConfig::clean().with_drift_walk(0.3, 600.0);
+        let m = LinkModel::new(100.0, config, 3600.0, 7);
+        let at_step = m.underlying_rtt_ms(600.0);
+        let next_step = m.underlying_rtt_ms(1200.0);
+        let midpoint = m.underlying_rtt_ms(900.0);
+        let (lo, hi) = if at_step <= next_step {
+            (at_step, next_step)
+        } else {
+            (next_step, at_step)
+        };
+        assert!(
+            midpoint >= lo - 1e-9 && midpoint <= hi + 1e-9,
+            "midpoint {midpoint} outside [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_drift_configs() {
+        let bad_period = LinkModelConfig {
+            drift_walk_step_s: 0.0,
+            ..LinkModelConfig::default()
+        };
+        assert!(matches!(
+            bad_period.validate(),
+            Err(ConfigError::DriftPeriodNotPositive(_))
+        ));
+        let bad_sigma = LinkModelConfig {
+            drift_walk_sigma: f64::NAN,
+            ..LinkModelConfig::default()
+        };
+        assert!(matches!(
+            bad_sigma.validate(),
+            Err(ConfigError::DriftMagnitudeNotFinite(_))
+        ));
+        assert!(LinkModelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drift walk")]
+    fn with_drift_walk_panics_on_nonpositive_step() {
+        let _ = LinkModelConfig::default().with_drift_walk(0.1, -5.0);
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct NodeMetrics {
     /// Number of peers this node evicted after a loss streak reached
     /// `max_consecutive_losses`, counted over the whole run.
     pub neighbors_evicted: u64,
+    /// Number of filtered observations the node's engine rejected before
+    /// they reached the coordinate update — Vivaldi plausibility rejections
+    /// plus, when the MAD outlier gate is enabled, observations whose
+    /// filtered RTT contradicts the coordinate-predicted distance. Counted
+    /// over the whole run, like losses.
+    pub observations_rejected: u64,
 }
 
 impl NodeMetrics {
@@ -330,6 +336,12 @@ impl ConfigMetrics {
         self.nodes.iter().map(|n| n.neighbors_evicted).sum()
     }
 
+    /// Total engine-side observation rejections across all nodes over the
+    /// whole run (Vivaldi plausibility plus the MAD outlier gate).
+    pub fn total_observations_rejected(&self) -> u64 {
+        self.nodes.iter().map(|n| n.observations_rejected).sum()
+    }
+
     /// Median of every system-level relative error sampled in `[from_s,
     /// to_s)`, pooled across nodes. This is the number the churn acceptance
     /// criterion compares pre-crash against end-of-run.
@@ -431,6 +443,7 @@ mod tests {
             probes_sent: 0,
             responses_received: 0,
             neighbors_evicted: 0,
+            observations_rejected: 0,
         }
     }
 

@@ -37,6 +37,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::adversary::AdversaryModel;
 use crate::topology::Region;
 
 /// One scripted disruption.
@@ -87,6 +88,16 @@ pub enum ScenarioAction {
         /// Simulation time at which connectivity is restored.
         heal_at_s: f64,
     },
+    /// The nodes turn Byzantine (or honest again): from now on each listed
+    /// node corrupts every probe reply it sends according to `model` —
+    /// `None` restores honest behaviour. Compromise mid-run, a honeypot
+    /// cleanup, a rolling attack front: all are `SetAdversary` scripts.
+    SetAdversary {
+        /// Indices of the nodes whose behaviour changes.
+        nodes: Vec<usize>,
+        /// The behaviour to install, or `None` to restore honesty.
+        model: Option<AdversaryModel>,
+    },
 }
 
 /// A [`ScenarioAction`] bound to its simulation time.
@@ -131,6 +142,13 @@ impl Scenario {
                     heal_at_s.is_finite() && *heal_at_s > at_s,
                     "a partition must heal after it starts"
                 );
+            }
+            ScenarioAction::SetAdversary {
+                model: Some(model), ..
+            } => {
+                if let Err(error) = model.validate() {
+                    panic!("invalid scenario adversary model: {error}");
+                }
             }
             _ => {}
         }
@@ -212,7 +230,8 @@ impl Scenario {
                 | ScenarioAction::Leave { nodes }
                 | ScenarioAction::Crash { nodes }
                 | ScenarioAction::Restart { nodes }
-                | ScenarioAction::Partition { group: nodes, .. } => nodes.iter().copied().max(),
+                | ScenarioAction::Partition { group: nodes, .. }
+                | ScenarioAction::SetAdversary { nodes, .. } => nodes.iter().copied().max(),
                 ScenarioAction::PartitionRegions { .. } => None,
             })
             .chain(self.initially_down.iter().copied())
@@ -277,6 +296,43 @@ mod tests {
     #[should_panic(expected = "restart must come after")]
     fn restart_must_follow_crash() {
         let _ = Scenario::crash_restart(vec![0], 200.0, 100.0);
+    }
+
+    #[test]
+    fn set_adversary_is_validated_and_counted_in_max_node() {
+        let scenario = Scenario::new().at(
+            60.0,
+            ScenarioAction::SetAdversary {
+                nodes: vec![3, 11],
+                model: Some(AdversaryModel::DelayAttacker {
+                    extra_delay_ms: 200.0,
+                }),
+            },
+        );
+        assert_eq!(scenario.max_node(), Some(11));
+        // Restoring honesty needs no model to validate.
+        let healed = scenario.at(
+            120.0,
+            ScenarioAction::SetAdversary {
+                nodes: vec![3],
+                model: None,
+            },
+        );
+        assert_eq!(healed.events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario adversary model")]
+    fn set_adversary_rejects_malformed_models() {
+        let _ = Scenario::new().at(
+            10.0,
+            ScenarioAction::SetAdversary {
+                nodes: vec![0],
+                model: Some(AdversaryModel::JitterBomb {
+                    max_extra_delay_ms: f64::INFINITY,
+                }),
+            },
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ use nc_proto::{Event, NodeSnapshot, ProbeRequest, ProbeResponse};
 use rand::Rng;
 use stable_nc::{FxHashMap, NodeConfig, StableNode};
 
+use crate::adversary::{apply_lie, CoordinateLie};
 use crate::metrics::{NodeMetrics, TrackedCoordinate};
 use crate::scenario::ScenarioAction;
 use crate::sim::{
@@ -102,6 +103,10 @@ struct ExchangeRec {
     /// False when the reply never reaches the prober (reverse loss, crash,
     /// partition): the responder then consumes its own slot use.
     has_digest: bool,
+    /// The coordinate lie drawn for this exchange (adversarial responder),
+    /// applied to every configuration's response at `Respond` time —
+    /// exactly where the serial loop applies it.
+    lie: Option<CoordinateLie>,
 }
 
 /// The planner's output: per-shard operation lists (each in global event
@@ -283,6 +288,9 @@ impl Worker {
                             run.nodes[local].respond_into(&request, &mut responses[index]);
                         }
                         responses[index].rtt_ms = rec.rtt_ms;
+                        if let Some(lie) = &rec.lie {
+                            apply_lie(&mut responses[index], lie);
+                        }
                     }
                     if rec.has_digest {
                         cell.published.store(rec.epoch, Ordering::Release);
@@ -488,6 +496,7 @@ fn build_plan(
                     slot: u32::MAX,
                     epoch: 0,
                     has_digest: false,
+                    lie: None,
                 });
                 queue.schedule(
                     now + draw.forward_delay_s,
@@ -512,6 +521,15 @@ fn build_plan(
                 if !schedule.alive[dst] || schedule.partitioned(src, dst, now) {
                     continue;
                 }
+                // Adversary draw: same point of the schedule as the serial
+                // loop's `on_probe_deliver`, so the dedicated adversary RNG
+                // advances identically and serial/sharded runs stay
+                // byte-identical.
+                let adversary = schedule.sample_adversary(dst);
+                let reverse_delay_s = match &adversary {
+                    Some(draw) => reverse_delay_s + draw.extra_delay_ms / 1_000.0,
+                    None => reverse_delay_s,
+                };
                 let slot = free_slots.pop().unwrap_or_else(|| {
                     slot_epochs.push(0);
                     (slot_epochs.len() - 1) as u32
@@ -520,6 +538,10 @@ fn build_plan(
                 let rec = &mut recs[rec_index];
                 rec.slot = slot;
                 rec.epoch = slot_epochs[slot as usize];
+                if let Some(draw) = adversary {
+                    rec.rtt_ms += draw.extra_delay_ms;
+                    rec.lie = draw.lie;
+                }
                 shard_ops[dst % threads].push(PlanOp::Respond {
                     rec: rec_index as u32,
                 });
@@ -660,6 +682,11 @@ fn build_plan(
                             .flat_map(|&region| env.topology.nodes_in_region(region))
                             .collect();
                         plan_partition(env, schedule, &group, heal_at_s);
+                    }
+                    ScenarioAction::SetAdversary { nodes, model } => {
+                        for node in nodes {
+                            schedule.adversaries[node] = model.clone();
+                        }
                     }
                 }
             }

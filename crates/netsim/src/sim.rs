@@ -55,6 +55,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use stable_nc::{FxHashMap, NodeConfig, StableNode};
 
+use crate::adversary::{apply_lie, AdversaryConfig, AdversaryDraw, AdversaryModel};
 use crate::linkmodel::{LinkModel, LinkModelConfig};
 use crate::metrics::{ConfigMetrics, NodeMetrics, SimReport, TrackedCoordinate};
 use crate::planetlab::PlanetLabConfig;
@@ -86,6 +87,17 @@ pub enum ConfigError {
     NonPositiveTrackInterval(f64),
     /// The probe timeout is not positive and finite.
     NonPositiveProbeTimeout(f64),
+    /// The adversary fraction is not a probability in `[0, 1]`.
+    AdversaryFractionOutOfRange(f64),
+    /// An adversary magnitude (displacement, inflation or delay) is not a
+    /// finite non-negative number.
+    AdversaryMagnitudeNotFinite(f64),
+    /// A coordinate liar's claimed error estimate lies outside `(0, 1]`.
+    AdversaryErrorEstimateOutOfRange(f64),
+    /// The drift-walk step period is not positive and finite.
+    DriftPeriodNotPositive(f64),
+    /// The drift-walk magnitude is not a finite non-negative number.
+    DriftMagnitudeNotFinite(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -117,6 +129,23 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonPositiveProbeTimeout(t) => {
                 write!(f, "probe timeout must be positive and finite, got {t}")
             }
+            ConfigError::AdversaryFractionOutOfRange(p) => {
+                write!(f, "adversary fraction must be in [0, 1], got {p}")
+            }
+            ConfigError::AdversaryMagnitudeNotFinite(v) => write!(
+                f,
+                "adversary magnitude must be finite and non-negative, got {v}"
+            ),
+            ConfigError::AdversaryErrorEstimateOutOfRange(e) => {
+                write!(f, "adversary error estimate must lie in (0, 1], got {e}")
+            }
+            ConfigError::DriftPeriodNotPositive(p) => {
+                write!(f, "drift-walk period must be positive and finite, got {p}")
+            }
+            ConfigError::DriftMagnitudeNotFinite(s) => write!(
+                f,
+                "drift-walk magnitude must be finite and non-negative, got {s}"
+            ),
         }
     }
 }
@@ -150,6 +179,12 @@ pub struct SimConfig {
     /// in-flight delay, so timeouts fire only for genuinely dropped packets
     /// and dead peers.
     pub probe_timeout_s: f64,
+    /// Optional Byzantine assignment: a seeded random fraction of the
+    /// population runs an [`AdversaryModel`](crate::adversary::AdversaryModel)
+    /// from the start. `None` (the default) and a fraction of `0.0` are
+    /// byte-identical to an adversary-free run — the adversary layer draws
+    /// from its own RNG and only for nodes that actually misbehave.
+    pub adversary: Option<AdversaryConfig>,
 }
 
 impl SimConfig {
@@ -173,6 +208,7 @@ impl SimConfig {
             track_interval_s: 60.0,
             protocol_seed: 0xF00D,
             probe_timeout_s: probe_interval_s * 3.0,
+            adversary: None,
         }
         .validate()
         .unwrap_or_else(|error| panic!("invalid simulation schedule: {error}"))
@@ -220,6 +256,9 @@ impl SimConfig {
         if !(self.probe_timeout_s.is_finite() && self.probe_timeout_s > 0.0) {
             return Err(ConfigError::NonPositiveProbeTimeout(self.probe_timeout_s));
         }
+        if let Some(adversary) = &self.adversary {
+            adversary.validate()?;
+        }
         Ok(self)
     }
 
@@ -257,6 +296,19 @@ impl SimConfig {
     /// Sets the probe timeout.
     pub fn with_probe_timeout(mut self, timeout_s: f64) -> Self {
         self.probe_timeout_s = timeout_s;
+        self
+    }
+
+    /// Makes a seeded random `fraction` of the population run `model`
+    /// (see [`AdversaryConfig`] for the seed default).
+    pub fn with_adversaries(mut self, fraction: f64, model: AdversaryModel) -> Self {
+        self.adversary = Some(AdversaryConfig::new(fraction, model));
+        self
+    }
+
+    /// Sets the full adversary assignment, including its RNG seed.
+    pub fn with_adversary_config(mut self, adversary: AdversaryConfig) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -500,6 +552,12 @@ pub(crate) struct ScheduleState {
     /// (guards against double-scheduling across crash/restart cycles).
     pub(crate) probe_cycle_active: Vec<bool>,
     pub(crate) active_partitions: Vec<PartitionWindow>,
+    /// Per-node Byzantine behaviour; `None` everywhere in honest runs.
+    pub(crate) adversaries: Vec<Option<AdversaryModel>>,
+    /// Dedicated RNG for adversary selection and per-reply draws, separate
+    /// from `protocol_rng` and the link streams so an adversary-free config
+    /// keeps its schedule byte-identical.
+    pub(crate) adversary_rng: StdRng,
 }
 
 impl ScheduleState {
@@ -585,6 +643,15 @@ impl ScheduleState {
             forward_lost,
             reverse_lost,
         }
+    }
+
+    /// Draws the adversarial action for a reply about to be sent by `node`,
+    /// or `None` when the node is honest. Called at probe-delivery time —
+    /// the same point of the schedule in the serial loop and the sharded
+    /// planner — and consumes randomness only for actual adversaries.
+    pub(crate) fn sample_adversary(&mut self, node: usize) -> Option<AdversaryDraw> {
+        let model = self.adversaries[node].as_ref()?;
+        Some(model.draw(&mut self.adversary_rng))
     }
 
     /// True when an active partition separates `a` from `b` at `time_s`.
@@ -712,6 +779,32 @@ impl Simulator {
         }
 
         let link_config = workload.link_config().clone();
+        if let Err(error) = link_config.validate() {
+            panic!("invalid link model: {error}");
+        }
+
+        // Seeded adversary assignment: the dedicated RNG exists either way
+        // (cheap), but is only *consumed* when adversaries are configured.
+        let mut adversary_rng = StdRng::seed_from_u64(
+            sim_config
+                .adversary
+                .as_ref()
+                .map(|adversary| adversary.seed)
+                .unwrap_or(0xBAD_5EED),
+        );
+        let mut adversaries: Vec<Option<AdversaryModel>> = vec![None; n];
+        if let Some(adversary) = &sim_config.adversary {
+            let count = ((adversary.fraction * n as f64).round() as usize).min(n);
+            let mut chosen = 0;
+            while chosen < count {
+                let candidate = adversary_rng.gen_range(0..n);
+                if adversaries[candidate].is_none() {
+                    adversaries[candidate] = Some(adversary.model.clone());
+                    chosen += 1;
+                }
+            }
+        }
+
         Simulator {
             env: SimEnv {
                 workload,
@@ -730,6 +823,8 @@ impl Simulator {
                     alive: vec![true; n],
                     probe_cycle_active: vec![false; n],
                     active_partitions: Vec::new(),
+                    adversaries,
+                    adversary_rng,
                 },
                 runs,
                 crash_snapshots: vec![vec![None; n]; run_count],
@@ -799,6 +894,21 @@ impl Simulator {
     /// The generated topology (ground-truth base RTTs).
     pub fn topology(&self) -> &Topology {
         &self.env.topology
+    }
+
+    /// Indices of the nodes made adversarial by the static
+    /// [`SimConfig::adversary`] assignment, in ascending order. Scenario
+    /// scripts can change assignments later; this reflects the state at
+    /// construction, which is what experiments need to exclude attackers
+    /// from victim-side accuracy metrics.
+    pub fn adversaries(&self) -> Vec<usize> {
+        self.state
+            .schedule
+            .adversaries
+            .iter()
+            .enumerate()
+            .filter_map(|(node, model)| model.as_ref().map(|_| node))
+            .collect()
     }
 
     /// Runs the simulation to completion and returns the collected metrics.
@@ -900,6 +1010,9 @@ pub(crate) fn fold_events(
             Event::ResponseIgnored { .. } => {
                 metrics.responses_ignored += 1;
             }
+            Event::ObservationRejected { .. } => {
+                metrics.observations_rejected += 1;
+            }
             Event::NeighborEvicted { .. } => {
                 metrics.neighbors_evicted += 1;
             }
@@ -923,6 +1036,8 @@ impl EngineState {
                 alive: Vec::new(),
                 probe_cycle_active: Vec::new(),
                 active_partitions: Vec::new(),
+                adversaries: Vec::new(),
+                adversary_rng: StdRng::seed_from_u64(0),
             },
             runs: Vec::new(),
             crash_snapshots: Vec::new(),
@@ -1134,6 +1249,21 @@ impl EngineState {
             self.release_slot(slot);
             return;
         }
+        // An adversarial responder corrupts the reply here, in the shared
+        // schedule: delay attacks stretch both the observed RTT and the
+        // reply's in-flight time (a held-back reply really is late and can
+        // cross the prober's timeout), coordinate lies are drawn once and
+        // applied identically to every configuration's response below. The
+        // sharded planner draws at the exact same point of the schedule.
+        let adversary = self.schedule.sample_adversary(dst);
+        let (rtt_ms, reverse_delay_s) = match &adversary {
+            Some(draw) => (
+                rtt_ms + draw.extra_delay_ms,
+                reverse_delay_s + draw.extra_delay_ms / 1_000.0,
+            ),
+            None => (rtt_ms, reverse_delay_s),
+        };
+        let lie = adversary.and_then(|draw| draw.lie);
         {
             let slot_buffers = &mut self.slots[slot];
             for (index, run) in self.runs.iter_mut().enumerate() {
@@ -1150,6 +1280,9 @@ impl EngineState {
                     );
                 }
                 slot_buffers.responses[index].rtt_ms = rtt_ms;
+                if let Some(lie) = &lie {
+                    apply_lie(&mut slot_buffers.responses[index], lie);
+                }
             }
         }
         if reverse_lost {
@@ -1326,6 +1459,11 @@ impl EngineState {
                     .flat_map(|&region| env.topology.nodes_in_region(region))
                     .collect();
                 self.start_partition(env, &group, heal_at_s);
+            }
+            ScenarioAction::SetAdversary { nodes, model } => {
+                for node in nodes {
+                    self.schedule.adversaries[node] = model.clone();
+                }
             }
         }
     }
@@ -1514,6 +1652,68 @@ mod tests {
         let error = bad.validate().unwrap_err();
         assert!(matches!(error, ConfigError::NonPositiveProbeTimeout(_)));
         assert!(!error.to_string().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_adversary_field() {
+        let good = SimConfig::new(100.0, 5.0);
+        let liar = AdversaryModel::CoordinateLiar {
+            displacement_ms: 1_000.0,
+            inflate: 1.0,
+            error_estimate: 0.01,
+        };
+        assert!(good
+            .clone()
+            .with_adversary_config(AdversaryConfig::new(0.25, liar.clone()))
+            .validate()
+            .is_ok());
+
+        let mut bad = good.clone();
+        bad.adversary = Some(AdversaryConfig::new(0.25, liar.clone()));
+        bad.adversary.as_mut().unwrap().fraction = 1.5;
+        let error = bad.validate().unwrap_err();
+        assert!(matches!(error, ConfigError::AdversaryFractionOutOfRange(_)));
+        assert!(!error.to_string().is_empty());
+
+        let mut bad = good.clone();
+        bad.adversary = Some(AdversaryConfig::new(
+            0.25,
+            AdversaryModel::CoordinateLiar {
+                displacement_ms: f64::NAN,
+                inflate: 1.0,
+                error_estimate: 0.01,
+            },
+        ));
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::AdversaryMagnitudeNotFinite(_))
+        ));
+
+        let mut bad = good.clone();
+        bad.adversary = Some(AdversaryConfig::new(
+            0.25,
+            AdversaryModel::CoordinateLiar {
+                displacement_ms: 1_000.0,
+                inflate: 1.0,
+                error_estimate: 0.0,
+            },
+        ));
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::AdversaryErrorEstimateOutOfRange(_))
+        ));
+
+        let mut bad = good.clone();
+        bad.adversary = Some(AdversaryConfig::new(
+            0.25,
+            AdversaryModel::DelayAttacker {
+                extra_delay_ms: f64::INFINITY,
+            },
+        ));
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::AdversaryMagnitudeNotFinite(_))
+        ));
     }
 
     #[test]

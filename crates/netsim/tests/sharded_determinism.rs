@@ -126,6 +126,63 @@ fn joins_leaves_and_partitions_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn adversarial_run_with_drift_and_gate_is_byte_identical_across_thread_counts() {
+    // Byzantine repliers (delayed replies can cross the probe timeout),
+    // drifting base RTTs and the MAD outlier gate all have to land
+    // identically no matter which shard owns the victim.
+    let build = || {
+        let workload = PlanetLabConfig::small(12).with_seed(21).with_link_config(
+            LinkModelConfig::default()
+                .with_loss_probability(0.02)
+                .with_drift_walk(0.08, 300.0),
+        );
+        let sim_config = SimConfig::new(800.0, 5.0)
+            .with_measurement_start(100.0)
+            .with_initial_neighbors(4)
+            .with_adversaries(
+                0.25,
+                nc_netsim::adversary::AdversaryModel::CoordinateLiar {
+                    displacement_ms: 2_000.0,
+                    inflate: 1.0,
+                    error_estimate: 0.01,
+                },
+            );
+        let scenario = Scenario::new()
+            .at(
+                250.0,
+                ScenarioAction::SetAdversary {
+                    nodes: vec![2],
+                    model: Some(nc_netsim::adversary::AdversaryModel::DelayAttacker {
+                        extra_delay_ms: 600.0,
+                    }),
+                },
+            )
+            .at(
+                500.0,
+                ScenarioAction::SetAdversary {
+                    nodes: vec![2],
+                    model: None,
+                },
+            );
+        Simulator::new(
+            workload,
+            sim_config,
+            vec![
+                ("undefended".to_string(), NodeConfig::paper_defaults()),
+                (
+                    "defended".to_string(),
+                    NodeConfig::builder()
+                        .outlier_gate(stable_nc::OutlierGateConfig::default())
+                        .build(),
+                ),
+            ],
+        )
+        .with_scenario(scenario)
+    };
+    assert_sharded_matches_serial(&build, "adversarial-drift-gate");
+}
+
+#[test]
 fn multi_config_sharded_run_matches_serial() {
     // Sharding composes with side-by-side configurations: every worker runs
     // all configurations for its nodes, and the merged report must equal the

@@ -32,9 +32,13 @@ pub enum Event<Id> {
         /// The raw round-trip time that was withheld.
         raw_rtt_ms: f64,
     },
-    /// Vivaldi rejected the filtered sample as implausible (non-finite,
-    /// non-positive, or beyond the configured latency bound); no state
-    /// changed.
+    /// The filtered sample was rejected as implausible before it could move
+    /// the coordinate: either Vivaldi refused the value itself (non-finite,
+    /// non-positive, or beyond the configured latency bound), or — on nodes
+    /// running the optional MAD outlier gate — the observation's residual
+    /// against the coordinate-predicted distance fell far outside the
+    /// recent residual distribution (a lying or delay-attacking peer). A
+    /// gate rejection drops the reply whole, piggybacked gossip included.
     ObservationRejected {
         /// The probed peer.
         id: Id,

@@ -48,9 +48,11 @@
 pub mod config;
 pub mod coordinate;
 pub mod error;
+pub mod gate;
 pub mod state;
 
 pub use config::VivaldiConfig;
 pub use coordinate::{Coordinate, MAX_DIMS};
 pub use error::{relative_error, CoordinateError};
+pub use gate::{OutlierGate, OutlierGateConfig};
 pub use state::{RemoteObservation, UpdateOutcome, VivaldiState};

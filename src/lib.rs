@@ -58,8 +58,8 @@ pub use stable_nc;
 
 pub use stable_nc::{
     ApplicationUpdate, Coordinate, Event, FilterConfig, GossipEntry, HeuristicConfig, NodeConfig,
-    NodeConfigBuilder, NodeSnapshot, ObservationOutcome, ProbeRequest, ProbeResponse, StableNode,
-    VivaldiConfig, WireError, WireMessage, PROTOCOL_VERSION,
+    NodeConfigBuilder, NodeSnapshot, ObservationOutcome, OutlierGateConfig, ProbeRequest,
+    ProbeResponse, StableNode, VivaldiConfig, WireError, WireMessage, PROTOCOL_VERSION,
 };
 
 #[cfg(test)]
