@@ -236,38 +236,41 @@ fn main() {
     if check {
         let recorded = std::fs::read_to_string(&path)
             .unwrap_or_else(|error| panic!("--check needs {}: {error}", path.display()));
+        // Diagnostics follow the workspace check-tool contract shared with
+        // nc-lint (see DETERMINISM.md): one `<tool>: error[<rule>]: ...`
+        // line per finding, a `<tool> --check: FAIL (n diagnostics)` or
+        // `OK (...)` summary, and a nonzero exit iff anything was found.
+        let mut checked = 0;
         let mut failures = 0;
         for result in &results {
             let Some(median) = recorded_median(&recorded, result.name) else {
                 eprintln!("  {}: not in BENCH_sim.json, skipping", result.name);
                 continue;
             };
+            checked += 1;
             let ratio = result.median_ns / median;
-            let verdict = if ratio > 1.0 + threshold {
+            let delta = (ratio - 1.0) * 100.0;
+            if ratio > 1.0 + threshold {
                 failures += 1;
-                "REGRESSION"
+                eprintln!(
+                    "bench_report: error[bench-regression]: {}: fresh {:.0} ns vs recorded {:.0} ns ({delta:+.1} %), over the {:.0} % budget",
+                    result.name,
+                    result.median_ns,
+                    median,
+                    threshold * 100.0
+                );
             } else {
-                "ok"
-            };
-            eprintln!(
-                "  {}: fresh {:.0} ns vs recorded {:.0} ns ({:+.1} %) {verdict}",
-                result.name,
-                result.median_ns,
-                median,
-                (ratio - 1.0) * 100.0
-            );
+                eprintln!(
+                    "  {}: fresh {:.0} ns vs recorded {:.0} ns ({delta:+.1} %) ok",
+                    result.name, result.median_ns, median
+                );
+            }
         }
         if failures > 0 {
-            eprintln!(
-                "bench_report --check: {failures} bench(es) regressed more than {:.0} %",
-                threshold * 100.0
-            );
+            eprintln!("bench_report --check: FAIL ({failures} diagnostics)");
             std::process::exit(1);
         }
-        eprintln!(
-            "bench_report --check: all benches within {:.0} % of BENCH_sim.json",
-            threshold * 100.0
-        );
+        eprintln!("bench_report --check: OK ({checked} benches checked)");
         return;
     }
 

@@ -93,8 +93,8 @@
 //! assert_eq!(restored.system_coordinate(), node.system_coordinate());
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod config;
 pub mod fxhash;

@@ -152,14 +152,18 @@ impl PeerFilter {
                 } => {
                     return PeerFilter::MovingPercentile(
                         MovingPercentileFilter::new(history, percentile)
+                            // nc-lint: allow(panic) — same constructor the
+                            // boxed builder runs; invalid parameters fail at
+                            // node construction, before any hot-path call.
                             .expect("invalid moving-percentile parameters"),
-                    )
+                    );
                 }
                 FilterConfig::MovingMedian { history } => {
                     // The median filter is definitionally MP at p = 50 (and
                     // `MovingMedianFilter` is implemented as exactly that
                     // wrapper), so the inline representation covers it too.
                     return PeerFilter::MovingPercentile(
+                        // nc-lint: allow(panic) — see the percentile arm above.
                         MovingPercentileFilter::new(history, 50.0).expect("invalid median history"),
                     );
                 }
@@ -448,7 +452,7 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
                 let snapshot = peer.neighbor.as_ref()?;
                 snapshot.filtered_rtt_ms.map(|rtt| (nid.clone(), rtt))
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("filtered RTTs are finite"));
+            .min_by(|a, b| a.1.total_cmp(&b.1));
     }
 
     // -----------------------------------------------------------------
@@ -879,6 +883,9 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         // relative-error metric is measured.
         let predicted_ms = self.vivaldi.coordinate().distance(&response.coordinate);
         let residual_ms = filtered_rtt_ms - predicted_ms;
+        // nc-lint: allow(panic) — handle_response_into dispatches here only
+        // when the gate is configured; the Option is re-read purely to
+        // scope the mutable borrow.
         let gate = self.gate.as_mut().expect("gated path requires the gate");
         if !gate.admits(residual_ms) {
             events.push(Event::ObservationRejected {
@@ -1149,6 +1156,8 @@ impl<Id: Eq + Hash + Clone> StableNode<Id> {
         let peer = self
             .peers
             .get_mut(id)
+            // nc-lint: allow(panic) — register_member two lines up inserted
+            // the entry; a miss here is unreachable.
             .expect("register_member keeps every observed peer in the table");
         let filter = peer
             .filter

@@ -23,18 +23,28 @@ struct CountingAllocator;
 // thread-local counter bump, which itself never allocates (const-initialised
 // TLS slot).
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: the counter bump cannot allocate or unwind; allocation itself
+    // is `System`'s, under the caller's (valid) layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.with(|count| count.set(count.get() + 1));
-        System.alloc(layout)
+        // SAFETY: `layout` is the caller's obligation, forwarded verbatim.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: pure delegation; `ptr`/`layout` validity is the caller's
+    // obligation, forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: see the function-level note.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: the counter bump cannot allocate or unwind; reallocation
+    // itself is `System`'s, under the caller's (valid) pointer and layout.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.with(|count| count.set(count.get() + 1));
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout`/`new_size` are the caller's obligation,
+        // forwarded verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

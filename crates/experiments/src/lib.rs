@@ -20,8 +20,8 @@
 //! outcomes is catalogued in the repository's `DESIGN.md` and the measured
 //! numbers are recorded in `EXPERIMENTS.md`.
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod fig02;
 pub mod fig03;

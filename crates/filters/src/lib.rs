@@ -40,8 +40,8 @@
 //! assert!(outputs.iter().all(|&v| v < 100.0));
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod ewma;
 pub mod moving_percentile;

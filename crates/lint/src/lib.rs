@@ -1,0 +1,53 @@
+//! `nc-lint`: the workspace's determinism & safety linter.
+//!
+//! This reproduction's load-bearing guarantees — byte-identical
+//! [`SimReport`]s across serial and sharded execution, seeded-RNG-only
+//! simulation, stream-preserving opt-in features — were, until this crate,
+//! defended only by after-the-fact regression tests. `nc-lint` moves them
+//! to the source: a dependency-free static pass with a hand-rolled Rust
+//! lexer (comments, strings and raw strings handled correctly, so prose
+//! never produces false hits) and a crate-scoped rule engine that walks
+//! every workspace `.rs` file outside `vendor/`, `target/` and fixture
+//! directories.
+//!
+//! See `DETERMINISM.md` at the workspace root for the contracts each rule
+//! enforces, and `cargo run -p nc-lint -- --list` for the rule set.
+//!
+//! Suppression is inline and auditable:
+//!
+//! ```text
+//! // nc-lint: allow(det-map) — definition site of the deterministic alias
+//! ```
+//!
+//! A pragma covers its own line and the line directly below; a pragma
+//! without a written reason is itself a diagnostic.
+//!
+//! [`SimReport`]: https://example.invalid/stable-network-coordinates
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use diag::{render_json, Diagnostic};
+pub use rules::{lint_source, RULES};
+
+/// Lints every discoverable `.rs` file under `root`. Returns the sorted
+/// diagnostics and the number of files checked. `only`, when non-empty,
+/// restricts output to the named rules.
+pub fn lint_tree(root: &Path, only: &[String]) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = walk::rust_files(root)?;
+    let checked = files.len();
+    let mut diagnostics = Vec::new();
+    for rel_path in &files {
+        let source = std::fs::read_to_string(root.join(rel_path))?;
+        let mut file_diags = rules::lint_source(rel_path, &source);
+        if !only.is_empty() {
+            file_diags.retain(|diag| only.iter().any(|rule| rule == &diag.rule));
+        }
+        diagnostics.extend(file_diags);
+    }
+    Ok((diagnostics, checked))
+}

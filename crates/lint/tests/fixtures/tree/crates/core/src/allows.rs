@@ -1,0 +1,13 @@
+//! Fixture: `allow-justify` — bare `#[allow(...)]` versus justified ones.
+
+#[allow(dead_code)]
+fn bare_allow() {}
+
+#[allow(dead_code)] // fixture: a trailing justification satisfies the rule
+fn justified_allow() {}
+
+#[allow(
+    dead_code,
+    unused_variables
+)] // fixture: multi-line attribute, justified on the closing-bracket line
+fn multi_line_justified(unused: u32) {}

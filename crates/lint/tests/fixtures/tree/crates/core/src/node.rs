@@ -1,0 +1,12 @@
+//! Fixture: `panic` — unwrap/expect and arithmetic indexing on the hot path.
+
+fn hot_path(values: &[f64], cursor: usize) -> f64 {
+    let first = values.first().unwrap();
+    let second: f64 = "2.0".parse().expect("parses");
+    let wrapped = values[cursor % values.len()];
+    // bounds: cursor + 1 is reduced modulo len on the line below.
+    let annotated = values[(cursor + 1) % values.len()];
+    // nc-lint: allow(panic) — fixture proving a justified pragma suppresses.
+    let suppressed = values[cursor * 2 % values.len()];
+    first + second + wrapped + annotated + suppressed
+}

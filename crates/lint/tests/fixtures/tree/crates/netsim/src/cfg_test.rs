@@ -1,0 +1,20 @@
+//! Fixture: in-file `#[cfg(test)]` modules get the same exemption as
+//! `tests/` directories. The library half above the module stays covered.
+
+fn library_half() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn unit_tests_may_use_std_maps_and_clocks() {
+        let started = Instant::now();
+        let mut map = HashMap::new();
+        map.insert(super::library_half(), started.elapsed());
+        assert!(map.get(&1).unwrap().as_nanos() < u128::MAX);
+    }
+}

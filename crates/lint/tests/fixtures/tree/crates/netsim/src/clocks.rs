@@ -1,0 +1,11 @@
+//! Fixture: `det-wallclock` — real time and ambient RNG in simulation code.
+
+use std::time::{Instant, SystemTime};
+
+fn wall_clock() -> f64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let jitter: f64 = rand::random();
+    started.elapsed().as_secs_f64() + rng.gen::<f64>() + jitter
+}

@@ -1,0 +1,10 @@
+//! Fixture: `det-map` — std maps in a deterministic crate's library code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn unordered() -> usize {
+    let map: HashMap<u32, u32> = HashMap::new();
+    let set: HashSet<u32> = HashSet::new();
+    map.len() + set.len()
+}

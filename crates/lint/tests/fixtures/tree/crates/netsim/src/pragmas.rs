@@ -1,0 +1,17 @@
+//! Fixture: the suppression pragma protocol itself.
+
+// nc-lint: allow(det-map) — fixture: a justified pragma suppresses the
+// diagnostic on the next code line, even across a continuation comment.
+use std::collections::HashMap;
+
+// nc-lint: allow(det-map)
+use std::collections::HashSet;
+
+// nc-lint: allow(not-a-rule) — pragmas must name a shipped rule.
+fn unknown_rule() {}
+
+fn leftovers() -> usize {
+    // A reasonless pragma suppresses nothing, so the next line is flagged
+    // AND the pragma two uses above is flagged for the missing reason.
+    HashMap::<u32, u32>::new().len() + HashSet::<u32>::new().len()
+}

@@ -1,0 +1,21 @@
+//! Fixture: false-positive traps. This file must produce ZERO diagnostics:
+//! every banned name below lives in a string, a raw string, a comment, or
+//! is a lookalike token (lifetime, longer identifier).
+//!
+//! Doc prose may even say `HashMap::new()` or `.unwrap()` freely.
+
+/* Block comments too: Instant::now(), SystemTime, thread_rng().
+   /* Nested blocks stay comments: unsafe { HashMap::new() } */
+   Still inside the outer comment: .expect("boom") */
+
+fn traps<'a>(label: &'a str) -> String {
+    let plain = "call .unwrap() then HashMap::new() at Instant::now()";
+    let raw = r#"rand::random() and "quoted" SystemTime inside a raw string"#;
+    let fenced = r##"thread_rng() behind a # fence: "#..."# stays raw"##;
+    let byte = b"unsafe { } in a byte string";
+    let ch = 'u'; // the char 'u' is not the start of `unwrap`
+    let lookalike_unwrap_or = Some(1).unwrap_or(0);
+    // `expects` and `unwrapped` are different identifiers than the banned ones.
+    let expects_unwrapped = lookalike_unwrap_or + byte.len() + ch as usize;
+    format!("{label}{plain}{raw}{fenced}{expects_unwrapped}")
+}

@@ -1,0 +1,14 @@
+//! Fixture: `tests/` directories are exempt from the determinism and
+//! panic rules (this file is even named `sim.rs` to prove the hot-path
+//! scope does not reach into test targets).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[test]
+fn test_scaffolding_may_unwrap() {
+    let started = Instant::now();
+    let mut map = HashMap::new();
+    map.insert("k", started.elapsed());
+    let _ = map.get("k").unwrap();
+}

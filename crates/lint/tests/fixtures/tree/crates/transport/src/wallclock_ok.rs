@@ -1,0 +1,15 @@
+//! Fixture: crate scoping — `crates/transport` may read real clocks and
+//! ambient RNG (no `det-wallclock` diagnostics here), but the `unsafe`
+//! hygiene rule still applies everywhere: the block below has no
+//! `// SAFETY:` comment and must be flagged.
+
+use std::time::Instant;
+
+fn deployment_clock() -> u128 {
+    let started = Instant::now();
+    let _seed: u64 = rand::random();
+    let leaked = unsafe { *std::ptr::addr_of!(STATIC_COUNTER) };
+    started.elapsed().as_nanos() + u128::from(leaked)
+}
+
+static STATIC_COUNTER: u64 = 0;

@@ -40,6 +40,15 @@
 //!   application-update rates and probe-loss counts, with warm-up exclusion
 //!   and windowed medians for before/after-churn comparisons.
 //!
+//! # Determinism
+//!
+//! Given the same seed and configuration, a simulation produces a
+//! byte-identical [`SimReport`](metrics::SimReport) at any thread count —
+//! the property every regression suite and golden file in the repo leans
+//! on. The contract, and the `nc-lint` rules that enforce it at the source
+//! level (no std `HashMap`, no wall-clock reads, no hot-path panics), is
+//! written down in `DETERMINISM.md` at the workspace root.
+//!
 //! # Example: a small two-configuration comparison
 //!
 //! ```
@@ -87,8 +96,8 @@
 //! assert!(metrics.total_probes_lost() > 0);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod adversary;
 pub mod cluster;

@@ -8,11 +8,10 @@
 //! `measurement_start` so start-up transients can be excluded, exactly as the
 //! paper reports "the second half of the run".
 
-use std::collections::HashMap;
-
 use nc_stats::{percentile, Ecdf, StatsError, StreamingSummary};
 use nc_vivaldi::Coordinate;
 use serde::{Deserialize, Serialize};
+use stable_nc::FxHashMap;
 
 /// Per-node metric accumulators.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -373,7 +372,7 @@ impl ConfigMetrics {
 /// The result of one simulation run: metrics per named configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
-    configs: HashMap<String, ConfigMetrics>,
+    configs: FxHashMap<String, ConfigMetrics>,
     /// Total simulated duration in seconds.
     pub duration_s: f64,
     /// Time at which measurement started (warm-up exclusion).
@@ -383,7 +382,7 @@ pub struct SimReport {
 impl SimReport {
     /// Builds a report from named per-configuration metrics.
     pub fn new(
-        configs: HashMap<String, ConfigMetrics>,
+        configs: FxHashMap<String, ConfigMetrics>,
         duration_s: f64,
         measurement_start_s: f64,
     ) -> Self {
@@ -483,7 +482,7 @@ mod tests {
 
     #[test]
     fn report_lookup_and_ordering() {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         map.insert("raw".to_string(), ConfigMetrics::new(1, 5.0));
         map.insert("mp".to_string(), ConfigMetrics::new(1, 5.0));
         let report = SimReport::new(map, 10.0, 5.0);

@@ -360,6 +360,9 @@ impl Worker {
                         };
                         let mut revived = match snapshot {
                             Some(snapshot) => StableNode::restore(run.config.clone(), &snapshot)
+                                // nc-lint: allow(panic) — restoring a snapshot
+                                // this run took under the same config cannot
+                                // fail; a failure is a sim bug.
                                 .expect("a crash snapshot restores under its own configuration"),
                             None => StableNode::new(run.config.clone()),
                         };
@@ -463,6 +466,7 @@ fn build_plan(
                 if neighbor_count == 0 {
                     continue;
                 }
+                // bounds: the cursor is reduced modulo neighbor_count == len.
                 let dst = schedule.neighbor_sets[src][schedule.round_robin[src] % neighbor_count];
                 schedule.round_robin[src] = schedule.round_robin[src].wrapping_add(1);
                 if dst == src {
@@ -471,6 +475,7 @@ fn build_plan(
                 let draw = schedule.sample_exchange(env, src, dst, now);
                 let now_ms = (now * 1_000.0) as u64;
                 let seq = mirrors[src].issue(dst);
+                // bounds: src % threads < threads == shard_ops.len().
                 shard_ops[src % threads].push(PlanOp::Issue {
                     node: src as u32,
                     dst: dst as u32,
@@ -542,6 +547,7 @@ fn build_plan(
                     rec.rtt_ms += draw.extra_delay_ms;
                     rec.lie = draw.lie;
                 }
+                // bounds: dst % threads < threads == shard_ops.len().
                 shard_ops[dst % threads].push(PlanOp::Respond {
                     rec: rec_index as u32,
                 });
@@ -571,6 +577,7 @@ fn build_plan(
                 let measuring = now >= env.sim_config.measurement_start_s;
                 recs[rec_index].has_digest = true;
                 mirrors[src].response(dst, recs[rec_index].seq);
+                // bounds: src % threads < threads == shard_ops.len().
                 shard_ops[src % threads].push(PlanOp::Digest {
                     rec: rec_index as u32,
                     now,
@@ -591,6 +598,7 @@ fn build_plan(
                 if !schedule.alive[src] {
                     continue;
                 }
+                // bounds: src % threads < threads == shard_ops.len().
                 shard_ops[src % threads].push(PlanOp::Timeout {
                     node: src as u32,
                     seq,
@@ -604,6 +612,7 @@ fn build_plan(
             }
             SimEvent::TrackSample => {
                 for (order, &node) in env.sim_config.track_nodes.iter().enumerate() {
+                    // bounds: node % threads < threads == shard_ops.len().
                     shard_ops[node % threads].push(PlanOp::Track {
                         node: node as u32,
                         sample: track_sample,
@@ -653,6 +662,7 @@ fn build_plan(
                             }
                             schedule.alive[node] = false;
                             mirror_snapshots[node] = Some(mirrors[node].clone());
+                            // bounds: node % threads < threads == shard_ops.len().
                             shard_ops[node % threads].push(PlanOp::Crash { node: node as u32 });
                         }
                     }
@@ -704,7 +714,7 @@ fn build_plan(
 /// The planner's mirror of `EngineState::bring_up`: identical schedule
 /// mutations (including the restart-expiry evictions), a `Restore` op
 /// instead of the engine work.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // the planner's full mutable context; bundling it into a struct would just rename the borrows
 fn plan_bring_up(
     env: &SimEnv,
     schedule: &mut ScheduleState,
@@ -730,6 +740,7 @@ fn plan_bring_up(
     };
     let evicted = revived.expire_all(max_losses);
     mirrors[node] = revived;
+    // bounds: node % threads < threads == shard_ops.len().
     shard_ops[node % threads].push(PlanOp::Restore {
         node: node as u32,
         fresh,
@@ -812,6 +823,7 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
         for (i, ((node, metric), snapshot)) in
             nodes.into_iter().zip(metrics).zip(snapshots).enumerate()
         {
+            // bounds: i % threads < threads == workers.len().
             let slot = &mut workers[i % threads].runs[run_index];
             slot.nodes.push(node);
             slot.metrics.push(metric);
@@ -834,6 +846,8 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
             .collect();
         handles
             .into_iter()
+            // nc-lint: allow(panic) — a panicking worker already poisoned
+            // the run; re-raising it here is the contract.
             .map(|handle| handle.join().expect("sharded simulation worker panicked"))
             .collect()
     });
@@ -845,6 +859,8 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
     for run_index in (0..run_count).rev() {
         let mut shards: Vec<WorkerRun> = per_worker
             .iter_mut()
+            // nc-lint: allow(panic) — every worker was built with run_count
+            // runs a few lines up; parity is structural.
             .map(|runs| runs.pop().expect("one WorkerRun per configuration"))
             .collect();
         let run = &mut state.runs[run_index];
@@ -861,9 +877,19 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
         let mut nodes = Vec::with_capacity(n);
         let mut metrics = Vec::with_capacity(n);
         let mut snapshots = Vec::with_capacity(n);
+        // Shard k holds exactly the nodes `i` with `i % threads == k`, in
+        // ascending order, so draining the iterators round-robin restores
+        // the global node order; running one dry is a planner bug worth
+        // crashing on.
         for i in 0..n {
+            // bounds: i % threads < threads, one iterator per worker shard.
+            // nc-lint: allow(panic) — structural parity, see loop comment.
             nodes.push(nodes_iters[i % threads].next().expect("node count parity"));
+            // bounds: i % threads < threads, one iterator per worker shard.
+            // nc-lint: allow(panic) — structural parity, see loop comment.
             metrics.push(metrics_iters[i % threads].next().expect("metric parity"));
+            // bounds: i % threads < threads, one iterator per worker shard.
+            // nc-lint: allow(panic) — structural parity, see loop comment.
             snapshots.push(snapshot_iters[i % threads].next().expect("snapshot parity"));
         }
         run.nodes = nodes;

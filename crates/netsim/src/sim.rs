@@ -47,7 +47,6 @@
 //! daemon's timer wheel would call.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
 
 use nc_proto::{Event, NodeSnapshot, ProbeRequest, ProbeResponse};
 use rand::rngs::StdRng;
@@ -563,12 +562,14 @@ pub(crate) struct ScheduleState {
 impl ScheduleState {
     /// True when `node` already has `peer` in its probe rotation.
     pub(crate) fn knows(&self, node: usize, peer: usize) -> bool {
+        // bounds: peer < n, so peer / 64 < ceil(n / 64), the row's word count.
         self.neighbor_bits[node][peer / 64] >> (peer % 64) & 1 == 1
     }
 
     /// Adds `peer` to `node`'s probe rotation unless already present.
     pub(crate) fn neighbor_add(&mut self, node: usize, peer: usize) {
         if !self.knows(node, peer) {
+            // bounds: peer < n, so peer / 64 < ceil(n / 64), the row's word count.
             self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
             self.neighbor_sets[node].push(peer);
         }
@@ -577,6 +578,7 @@ impl ScheduleState {
     /// Removes `peer` from `node`'s probe rotation if present.
     pub(crate) fn neighbor_remove(&mut self, node: usize, peer: usize) {
         if self.knows(node, peer) {
+            // bounds: peer < n, so peer / 64 < ceil(n / 64), the row's word count.
             self.neighbor_bits[node][peer / 64] &= !(1 << (peer % 64));
             self.neighbor_sets[node].retain(|&member| member != peer);
         }
@@ -588,6 +590,7 @@ impl ScheduleState {
             *word = 0;
         }
         for &peer in &set {
+            // bounds: peer < n, so peer / 64 < ceil(n / 64), the row's word count.
             self.neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
         }
         self.neighbor_sets[node] = set;
@@ -774,6 +777,7 @@ impl Simulator {
         let mut neighbor_bits = vec![vec![0u64; words]; n];
         for (node, set) in neighbor_sets.iter().enumerate() {
             for &peer in set {
+                // bounds: peer < n, so peer / 64 < words = ceil(n / 64).
                 neighbor_bits[node][peer / 64] |= 1 << (peer % 64);
             }
         }
@@ -948,6 +952,8 @@ impl Simulator {
                     .collect();
                 handles
                     .into_iter()
+                    // nc-lint: allow(panic) — a panicking worker already
+                    // poisoned the run; re-raising it here is the contract.
                     .map(|handle| handle.join().expect("simulation worker panicked"))
                     .collect()
             });
@@ -959,7 +965,7 @@ impl Simulator {
         // Results merge in the stable configuration order (the report's
         // serialization sorts by name), so parallel and serial runs encode
         // identically.
-        let mut configs = HashMap::new();
+        let mut configs = FxHashMap::default();
         for run in &self.state.runs {
             configs.insert(run.name.clone(), run.metrics.clone());
         }
@@ -1184,6 +1190,7 @@ impl EngineState {
         if neighbor_count == 0 {
             return;
         }
+        // bounds: the cursor is reduced modulo neighbor_count == the set's len.
         let dst = self.schedule.neighbor_sets[src][self.schedule.round_robin[src] % neighbor_count];
         self.schedule.round_robin[src] = self.schedule.round_robin[src].wrapping_add(1);
         if dst == src {
@@ -1231,7 +1238,7 @@ impl EngineState {
         );
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // one event's full wire context; a struct would be unpacked on the next line
     fn on_probe_deliver(
         &mut self,
         now: f64,
@@ -1510,6 +1517,8 @@ impl EngineState {
             let run = &mut self.runs[run_index];
             let mut revived = match snapshot {
                 Some(snapshot) => StableNode::restore(run.config.clone(), &snapshot)
+                    // nc-lint: allow(panic) — restoring a snapshot this run
+                    // took under the same config cannot fail; it is a sim bug.
                     .expect("a crash snapshot restores under its own configuration"),
                 None => StableNode::new(run.config.clone()),
             };

@@ -7,13 +7,12 @@
 //! produces such traces from the synthetic substrate: every record says who
 //! pinged whom, when, and what RTT the probe observed.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::linkmodel::{LinkModel, LinkModelConfig};
 use crate::planetlab::PlanetLabConfig;
 use crate::topology::Topology;
+use stable_nc::FxHashMap;
 
 /// One ping observation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,7 +74,7 @@ impl TraceConfig {
 pub struct TraceGenerator {
     config: TraceConfig,
     topology: Topology,
-    links: HashMap<(usize, usize), LinkModel>,
+    links: FxHashMap<(usize, usize), LinkModel>,
 }
 
 impl TraceGenerator {
@@ -85,7 +84,7 @@ impl TraceGenerator {
         TraceGenerator {
             config,
             topology,
-            links: HashMap::new(),
+            links: FxHashMap::default(),
         }
     }
 

@@ -52,8 +52,8 @@
 //! assert_eq!(response.seq, 7);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod binary;
 pub mod event;

@@ -38,8 +38,8 @@
 //! assert!(p25 < 12.0);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod boxplot;
 pub mod cdf;

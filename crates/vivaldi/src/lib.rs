@@ -42,8 +42,8 @@
 //! assert!((predicted - 80.0).abs() < 8.0, "predicted {predicted} ms");
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub mod config;
 pub mod coordinate;

@@ -43,8 +43,8 @@
 //! println!("estimated RTT: {:.1} ms", a.estimate_rtt_ms(b.system_coordinate()));
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// Lint policy (missing_docs, broken doc links, clippy set) is centralized
+// in the workspace manifest: [workspace.lints] + `lints.workspace = true`.
 
 pub use nc_change;
 pub use nc_experiments;

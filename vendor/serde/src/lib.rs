@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -389,7 +389,7 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
 
 // Maps serialize to a sequence of `[key, value]` pairs so that non-string
 // keys survive the JSON round trip.
-impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         let mut pairs: Vec<Value> = self
             .iter()
@@ -401,7 +401,9 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
     }
 }
 
-impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value {
             Value::Seq(items) => items.iter().map(<(K, V)>::from_value).collect(),
