@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the per-observation costs: the latency filters, the
 //! Vivaldi update rule, the change-detection statistics and the full
-//! `StableNode::observe` path. These are the operations a deployed node
-//! performs for every probe, so their cost bounds the sustainable probing
-//! rate.
+//! `StableNode` wire-digestion path. These are the operations a deployed
+//! node performs for every probe, so their cost bounds the sustainable
+//! probing rate.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -13,7 +13,7 @@ use nc_stats::{energy_distance_by, percentile};
 use nc_vivaldi::{Coordinate, RemoteObservation, VivaldiConfig, VivaldiState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stable_nc::{NodeConfig, StableNode};
+use stable_nc::{NodeConfig, ProbeResponse, StableNode};
 
 fn latency_stream(len: usize) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(7);
@@ -242,10 +242,23 @@ fn bench_stable_node(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter_batched(
-                || StableNode::<u32>::new(config.clone()),
-                |mut node| {
-                    for &rtt in &stream {
-                        black_box(node.observe(1, remote.clone(), 0.4, rtt));
+                || {
+                    // Pre-build the response once; the loop re-stamps seq and
+                    // rtt so only the wire digestion path is measured.
+                    let mut node = StableNode::<u32>::new(config.clone());
+                    let request = node.probe_request_for(1, 0);
+                    let response = ProbeResponse::new(1, &request, remote.clone(), 0.4);
+                    let events: Vec<stable_nc::Event<u32>> = Vec::with_capacity(32);
+                    (node, response, events)
+                },
+                |(mut node, mut response, mut events)| {
+                    for (step, &rtt) in stream.iter().enumerate() {
+                        let request = node.probe_request_for(1, step as u64 + 1);
+                        response.seq = request.seq;
+                        response.rtt_ms = rtt;
+                        events.clear();
+                        node.handle_response_into(&response, &mut events);
+                        black_box(&events);
                     }
                 },
                 BatchSize::SmallInput,

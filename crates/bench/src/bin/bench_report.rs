@@ -14,11 +14,14 @@
 //!
 //! The full run measures the 256-node hour (median of 3), its lossy/churn
 //! variant (median of 3), the 4096-node hour and the 16,384-node hour (1
-//! iteration each); `--quick` runs single iterations of the 256-node
-//! workloads only, and `--huge` adds a 65,536-node hour. The JSON maps
-//! bench name → median nanoseconds, node count and approximate simulator
-//! events per second, and embeds the frozen pre-PR-3 baseline for
-//! before/after comparison.
+//! iteration each), plus the `nc-query` read path: batches of k-nearest
+//! queries against indexes of 10,000 and 100,000 synthetic tracked nodes;
+//! `--quick` runs single iterations of the 256-node workloads and both
+//! query batches, and `--huge` adds a 65,536-node hour and a
+//! 1,000,000-node query batch. The JSON maps bench name → median
+//! nanoseconds, node count and throughput (simulator events or queries per
+//! second), and embeds the frozen pre-PR-3 baseline for before/after
+//! comparison.
 //!
 //! `--check` compares fresh medians against the committed `BENCH_sim.json`
 //! instead of rewriting it: any measured bench more than the threshold
@@ -36,6 +39,8 @@ use nc_netsim::linkmodel::LinkModelConfig;
 use nc_netsim::planetlab::PlanetLabConfig;
 use nc_netsim::scenario::Scenario;
 use nc_netsim::sim::{SimConfig, Simulator};
+use nc_query::{CoordinateIndex, QueryConfig};
+use nc_vivaldi::Coordinate;
 use stable_nc::NodeConfig;
 
 /// One simulated hour at the paper's deployment probe interval.
@@ -59,7 +64,11 @@ struct BenchResult {
     name: &'static str,
     nodes: u64,
     median_ns: f64,
-    events_per_sec: f64,
+    /// Throughput over the median sample; labelled per bench family in the
+    /// JSON (`events_per_sec` for the simulator, `queries_per_sec` for the
+    /// query read path).
+    rate: f64,
+    rate_key: &'static str,
 }
 
 /// Approximate number of discrete events one simulated hour generates: each
@@ -118,7 +127,76 @@ fn measure(
         name,
         nodes,
         median_ns: median,
-        events_per_sec: approx_events(nodes) / (median / 1e9),
+        rate: approx_events(nodes) / (median / 1e9),
+        rate_key: "events_per_sec",
+    }
+}
+
+/// How many k-nearest queries one read-path sample issues.
+const QUERY_BATCH: usize = 100_000;
+/// Neighbours requested per query (a replica-selection-sized answer).
+const QUERY_K: usize = 8;
+
+/// splitmix64: a tiny deterministic generator for the synthetic coordinate
+/// population — the bench must not depend on ambient randomness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A synthetic-but-plausible coordinate: components spread over ±300 ms (a
+/// terrestrial embedding), heights of a few ms (well-connected nodes'
+/// access links; the height term adds to every distance, so it directly
+/// sets the k-NN candidate radius).
+fn synthetic_coordinate(state: &mut u64) -> Coordinate {
+    let mut axis = || {
+        let raw = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+        (raw - 0.5) * 600.0
+    };
+    let components = [axis(), axis(), axis()];
+    let height = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64 * 4.0;
+    Coordinate::with_height(components, height).expect("synthetic coordinate is finite")
+}
+
+/// Measures the `nc-query` read path: builds an index of `nodes` synthetic
+/// tracked coordinates (untimed), then times a batch of `QUERY_BATCH`
+/// k-nearest queries against it.
+fn measure_queries(name: &'static str, nodes: u64, iterations: usize) -> BenchResult {
+    let mut state = 0x5EED ^ nodes;
+    let mut index: CoordinateIndex<u64> =
+        CoordinateIndex::new(QueryConfig::default()).expect("default config validates");
+    for id in 0..nodes {
+        let coordinate = synthetic_coordinate(&mut state);
+        index
+            .update(id, &coordinate)
+            .expect("insert synthetic node");
+    }
+    let mut samples = Vec::with_capacity(iterations);
+    for iteration in 0..iterations {
+        let mut sink = 0.0f64;
+        let start = Instant::now();
+        for _ in 0..QUERY_BATCH {
+            let target = synthetic_coordinate(&mut state);
+            let hits = index.k_nearest(&target, QUERY_K).expect("query");
+            if let Some(nearest) = hits.first() {
+                sink += nearest.distance_ms;
+            }
+        }
+        let elapsed = start.elapsed();
+        std::hint::black_box(sink);
+        eprintln!("  {name} iteration {}: {elapsed:?}", iteration + 1);
+        samples.push(elapsed.as_nanos() as f64);
+    }
+    let median = median_ns(samples);
+    BenchResult {
+        name,
+        nodes,
+        median_ns: median,
+        rate: QUERY_BATCH as f64 / (median / 1e9),
+        rate_key: "queries_per_sec",
     }
 }
 
@@ -229,6 +307,13 @@ fn main() {
             threads,
         ));
     }
+    // Query read-path batches run in quick mode too: the CI `--check
+    // --quick` gate covers them, so a k-NN slowdown fails the smoke test.
+    results.push(measure_queries("query/knn_10k_nodes", 10_000, iterations));
+    results.push(measure_queries("query/knn_100k_nodes", 100_000, iterations));
+    if huge {
+        results.push(measure_queries("query/knn_1m_nodes", 1_000_000, 1));
+    }
 
     let root = workspace_root();
     let path = root.join("BENCH_sim.json");
@@ -282,11 +367,12 @@ fn main() {
     json.push_str("  \"benches\": {\n");
     for (index, result) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{ \"median_ns\": {:.0}, \"nodes\": {}, \"events_per_sec\": {:.0} }}{}\n",
+            "    \"{}\": {{ \"median_ns\": {:.0}, \"nodes\": {}, \"{}\": {:.0} }}{}\n",
             result.name,
             result.median_ns,
             result.nodes,
-            result.events_per_sec,
+            result.rate_key,
+            result.rate,
             if index + 1 < results.len() { "," } else { "" }
         ));
     }

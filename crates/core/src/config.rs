@@ -11,6 +11,65 @@ use nc_filters::{
 use nc_vivaldi::{OutlierGateConfig, VivaldiConfig};
 use serde::{Deserialize, Serialize};
 
+/// Typed error from validating a [`NodeConfig`] (or one of its parts).
+///
+/// This is the shared validation idiom of the workspace's config surfaces:
+/// `NodeConfig::validate`, `SimConfig::validate` (`nc-netsim`),
+/// `LinkModelConfig::validate` and `QueryConfig::validate` (`nc-query`) all
+/// return a typed error instead of panicking, so drivers can surface bad
+/// deployment input without unwinding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeConfigError {
+    /// A moving-percentile or moving-median history of zero samples.
+    EmptyFilterHistory,
+    /// A percentile outside the `[0, 100]` range (or not finite).
+    PercentileOutOfRange(f64),
+    /// An EWMA smoothing factor outside `(0, 1]` (or not finite).
+    AlphaOutOfRange(f64),
+    /// A non-positive or non-finite threshold cut-off (ms).
+    NonPositiveCutoff(f64),
+    /// A non-positive or non-finite heuristic threshold.
+    NonPositiveThreshold(f64),
+    /// A windowed heuristic with fewer than two samples per window.
+    WindowTooSmall(usize),
+    /// An eviction limit of zero consecutive losses (a peer would be
+    /// evicted before its first probe could even be answered).
+    ZeroLossLimit,
+}
+
+impl std::fmt::Display for NodeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeConfigError::EmptyFilterHistory => {
+                write!(f, "filter history must hold at least one sample")
+            }
+            NodeConfigError::PercentileOutOfRange(p) => {
+                write!(f, "percentile must be in [0, 100], got {p}")
+            }
+            NodeConfigError::AlphaOutOfRange(a) => {
+                write!(f, "EWMA alpha must be in (0, 1], got {a}")
+            }
+            NodeConfigError::NonPositiveCutoff(c) => {
+                write!(f, "threshold cutoff must be positive and finite, got {c}")
+            }
+            NodeConfigError::NonPositiveThreshold(t) => {
+                write!(
+                    f,
+                    "heuristic threshold must be positive and finite, got {t}"
+                )
+            }
+            NodeConfigError::WindowTooSmall(w) => {
+                write!(f, "heuristic windows need at least 2 samples, got {w}")
+            }
+            NodeConfigError::ZeroLossLimit => {
+                write!(f, "max consecutive losses must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeConfigError {}
+
 /// Which per-link filter a node applies to raw latency observations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FilterConfig {
@@ -62,14 +121,55 @@ impl FilterConfig {
         }
     }
 
+    /// Checks the filter parameters and returns the config unchanged when
+    /// they are buildable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NodeConfigError`] found: a zero history, a
+    /// percentile outside `[0, 100]`, an alpha outside `(0, 1]`, or a
+    /// non-positive threshold cut-off.
+    pub fn validate(self) -> Result<Self, NodeConfigError> {
+        match &self {
+            FilterConfig::Raw => {}
+            FilterConfig::MovingPercentile {
+                history,
+                percentile,
+            } => {
+                if *history == 0 {
+                    return Err(NodeConfigError::EmptyFilterHistory);
+                }
+                if !percentile.is_finite() || !(0.0..=100.0).contains(percentile) {
+                    return Err(NodeConfigError::PercentileOutOfRange(*percentile));
+                }
+            }
+            FilterConfig::MovingMedian { history } => {
+                if *history == 0 {
+                    return Err(NodeConfigError::EmptyFilterHistory);
+                }
+            }
+            FilterConfig::Ewma { alpha } => {
+                if !alpha.is_finite() || *alpha <= 0.0 || *alpha > 1.0 {
+                    return Err(NodeConfigError::AlphaOutOfRange(*alpha));
+                }
+            }
+            FilterConfig::Threshold { cutoff_ms } => {
+                if !cutoff_ms.is_finite() || *cutoff_ms <= 0.0 {
+                    return Err(NodeConfigError::NonPositiveCutoff(*cutoff_ms));
+                }
+            }
+        }
+        Ok(self)
+    }
+
     /// Builds one filter instance for a newly discovered link.
     ///
     /// # Panics
     ///
-    /// Panics when the configuration holds invalid parameters (zero history,
-    /// percentile outside 0–100, alpha outside `(0, 1]`, non-positive
-    /// cut-off). Configurations built through the public constructors are
-    /// always valid.
+    /// Panics when the configuration holds invalid parameters — exactly the
+    /// ones [`FilterConfig::validate`] reports as typed errors.
+    /// Configurations built through the public constructors are always
+    /// valid.
     pub(crate) fn build(&self, warmup_samples: u64) -> Box<dyn LatencyFilter + Send> {
         let inner: Box<dyn LatencyFilter + Send> = match self {
             FilterConfig::Raw => Box::new(RawFilter::new()),
@@ -197,13 +297,52 @@ impl HeuristicConfig {
         }
     }
 
+    /// Checks the heuristic parameters and returns the config unchanged
+    /// when they are buildable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NodeConfigError`] found: a non-positive
+    /// threshold, or a window smaller than two samples.
+    pub fn validate(self) -> Result<Self, NodeConfigError> {
+        let check_threshold = |t: f64| {
+            if !t.is_finite() || t <= 0.0 {
+                Err(NodeConfigError::NonPositiveThreshold(t))
+            } else {
+                Ok(())
+            }
+        };
+        match &self {
+            HeuristicConfig::FollowSystem => {}
+            HeuristicConfig::System { threshold_ms }
+            | HeuristicConfig::Application { threshold_ms } => check_threshold(*threshold_ms)?,
+            HeuristicConfig::Relative { threshold, window }
+            | HeuristicConfig::Energy { threshold, window } => {
+                check_threshold(*threshold)?;
+                if *window < 2 {
+                    return Err(NodeConfigError::WindowTooSmall(*window));
+                }
+            }
+            HeuristicConfig::ApplicationCentroid {
+                threshold_ms,
+                window,
+            } => {
+                check_threshold(*threshold_ms)?;
+                if *window < 2 {
+                    return Err(NodeConfigError::WindowTooSmall(*window));
+                }
+            }
+        }
+        Ok(self)
+    }
+
     /// Builds the heuristic, or `None` for the follow-system configuration.
     ///
     /// # Panics
     ///
-    /// Panics on invalid parameters (non-positive thresholds or windows
-    /// smaller than 2); configurations from the provided constructors are
-    /// always valid.
+    /// Panics on invalid parameters — exactly the ones
+    /// [`HeuristicConfig::validate`] reports as typed errors; configurations
+    /// from the provided constructors are always valid.
     pub(crate) fn build(&self) -> Option<Box<dyn UpdateHeuristic + Send>> {
         match self {
             HeuristicConfig::FollowSystem => None,
@@ -291,6 +430,22 @@ impl NodeConfig {
             config: Self::paper_defaults(),
         }
     }
+
+    /// Checks every invariant of the configuration and returns it unchanged
+    /// when a [`crate::StableNode`] can be built from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NodeConfigError`] found in the filter, the
+    /// heuristic, or the eviction limit.
+    pub fn validate(self) -> Result<Self, NodeConfigError> {
+        self.filter.clone().validate()?;
+        self.heuristic.clone().validate()?;
+        if self.max_consecutive_losses == Some(0) {
+            return Err(NodeConfigError::ZeroLossLimit);
+        }
+        Ok(self)
+    }
 }
 
 impl Default for NodeConfig {
@@ -344,9 +499,12 @@ impl NodeConfigBuilder {
     }
 
     /// Enables eviction of peers whose last `losses` probes all expired
-    /// unanswered.
+    /// unanswered. A limit of zero is stored as given and reported by
+    /// [`NodeConfig::validate`] / [`NodeConfigBuilder::try_build`] as
+    /// [`NodeConfigError::ZeroLossLimit`] (setters never panic and never
+    /// silently correct their input).
     pub fn max_consecutive_losses(mut self, losses: u32) -> Self {
-        self.config.max_consecutive_losses = Some(losses.max(1));
+        self.config.max_consecutive_losses = Some(losses);
         self
     }
 
@@ -357,7 +515,23 @@ impl NodeConfigBuilder {
         self
     }
 
-    /// Finishes the builder.
+    /// Finishes the builder, checking every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NodeConfigError`] that
+    /// [`NodeConfig::validate`] finds.
+    pub fn try_build(self) -> Result<NodeConfig, NodeConfigError> {
+        self.config.validate()
+    }
+
+    /// Finishes the builder without validation.
+    ///
+    /// Deprecation note: prefer [`try_build`](NodeConfigBuilder::try_build),
+    /// which applies [`NodeConfig::validate`] and reports bad parameters as
+    /// a typed [`NodeConfigError`] instead of deferring the failure to a
+    /// panic inside [`crate::StableNode::new`]. `build` is kept for the
+    /// common case of hard-coded, known-good configurations.
     pub fn build(self) -> NodeConfig {
         self.config
     }
@@ -407,6 +581,65 @@ mod tests {
             .outlier_gate(OutlierGateConfig::default())
             .build();
         assert_eq!(gated.outlier_gate, Some(OutlierGateConfig::default()));
+    }
+
+    #[test]
+    fn validate_accepts_every_shipped_configuration() {
+        for config in [
+            NodeConfig::paper_defaults(),
+            NodeConfig::original_vivaldi(),
+            NodeConfig::builder()
+                .filter(FilterConfig::Ewma { alpha: 0.1 })
+                .heuristic(HeuristicConfig::paper_relative())
+                .max_consecutive_losses(3)
+                .build(),
+        ] {
+            assert!(config.clone().validate().is_ok(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors_instead_of_panicking() {
+        let err = NodeConfig::builder()
+            .filter(FilterConfig::MovingPercentile {
+                history: 0,
+                percentile: 25.0,
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, NodeConfigError::EmptyFilterHistory);
+
+        let err = NodeConfig::builder()
+            .filter(FilterConfig::Ewma { alpha: 1.5 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, NodeConfigError::AlphaOutOfRange(1.5));
+
+        let err = NodeConfig::builder()
+            .heuristic(HeuristicConfig::Energy {
+                threshold: -1.0,
+                window: 32,
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, NodeConfigError::NonPositiveThreshold(-1.0));
+
+        let err = NodeConfig::builder()
+            .heuristic(HeuristicConfig::Relative {
+                threshold: 0.3,
+                window: 1,
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, NodeConfigError::WindowTooSmall(1));
+
+        let err = NodeConfig::builder()
+            .max_consecutive_losses(0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, NodeConfigError::ZeroLossLimit);
+        // Errors render as prose for operator-facing logs.
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]

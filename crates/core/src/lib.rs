@@ -30,6 +30,10 @@
 //! [`Event`]s. The engine never touches a socket or a clock — the same code
 //! runs under the discrete-event simulator, a UDP daemon, or a trace
 //! replayer, which is what makes the stack testable and deployable at once.
+//! Read-only introspection goes through [`StableNode::view`], which captures
+//! the node's complete externally observable state (coordinates, error,
+//! neighbour table with filtered RTTs, per-peer metrics) as one [`NodeView`]
+//! snapshot.
 //!
 //! # Quickstart: the request/response loop
 //!
@@ -79,18 +83,22 @@
 //!
 //! ```
 //! use nc_proto::WireMessage;
-//! use stable_nc::{NodeConfig, StableNode};
+//! use stable_nc::{NodeConfig, ProbeResponse, StableNode};
 //!
 //! let mut node: StableNode<u32> = StableNode::new(NodeConfig::paper_defaults());
 //! let remote = stable_nc::Coordinate::new(vec![20.0, 30.0, 0.0]).unwrap();
-//! for i in 0..64 {
-//!     node.observe(1, remote.clone(), 0.5, 42.0 + (i % 3) as f64);
+//! for i in 0..64u64 {
+//!     let request = node.probe_request_for(1, i);
+//!     let mut response = ProbeResponse::new(1, &request, remote.clone(), 0.5);
+//!     response.rtt_ms = 42.0 + (i % 3) as f64;
+//!     node.handle_response(&response);
 //! }
 //!
 //! let persisted = node.snapshot().encode(); // JSON, version-tagged
 //! let snapshot = stable_nc::NodeSnapshot::<u32>::decode(&persisted).unwrap();
 //! let restored = StableNode::restore(NodeConfig::paper_defaults(), &snapshot).unwrap();
 //! assert_eq!(restored.system_coordinate(), node.system_coordinate());
+//! assert_eq!(restored.view(), node.view());
 //! ```
 
 // Lint policy (missing_docs, broken doc links, clippy set) is centralized
@@ -100,9 +108,9 @@ pub mod config;
 pub mod fxhash;
 pub mod node;
 
-pub use config::{FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder};
+pub use config::{FilterConfig, HeuristicConfig, NodeConfig, NodeConfigBuilder, NodeConfigError};
 pub use fxhash::FxHashMap;
-pub use node::{NeighborSnapshot, ObservationOutcome, RestoreError, StableNode};
+pub use node::{NodeView, PeerView, RestoreError, StableNode};
 
 // Re-export the building blocks so downstream users need only one dependency.
 pub use nc_change::{ApplicationUpdate, HeuristicKind};

@@ -61,26 +61,42 @@ fn allocations_during<R>(body: impl FnOnce() -> R) -> (u64, R) {
 }
 
 #[test]
-fn steady_state_observe_performs_zero_allocations() {
+fn steady_state_response_digest_performs_zero_allocations() {
+    // The prober-side half of the loop in isolation: one response message is
+    // built up front and re-stamped per step, so the only code under the
+    // counter is `probe_request_for` plus the full observation pipeline
+    // behind `handle_response_into` (filter, gate, Vivaldi, heuristic).
     let mut node: StableNode<usize> = StableNode::new(NodeConfig::paper_defaults());
     let remote = nc_vivaldi::Coordinate::new(vec![30.0, 40.0, 10.0]).unwrap();
+    let mut events: Vec<Event<usize>> = Vec::with_capacity(32);
+
+    let request = node.probe_request_for(7, 0);
+    let mut response = ProbeResponse::new(7, &request, remote, 0.4);
 
     // Warm up: register the peer, fill the filter window, fill both ENERGY
     // windows (32 each) and let every table and scratch buffer reach its
     // working size.
     for step in 0..512u64 {
-        node.observe(7, remote.clone(), 0.4, 60.0 + (step % 9) as f64);
+        let request = node.probe_request_for(7, step);
+        response.seq = request.seq;
+        response.rtt_ms = 60.0 + (step % 9) as f64;
+        events.clear();
+        node.handle_response_into(&response, &mut events);
     }
 
     let (allocations, _) = allocations_during(|| {
-        for step in 0..1_000u64 {
-            let outcome = node.observe(7, remote.clone(), 0.4, 60.0 + (step % 9) as f64);
-            std::hint::black_box(&outcome);
+        for step in 512..1_512u64 {
+            let request = node.probe_request_for(7, step);
+            response.seq = request.seq;
+            response.rtt_ms = 60.0 + (step % 9) as f64;
+            events.clear();
+            node.handle_response_into(&response, &mut events);
+            std::hint::black_box(&events);
         }
     });
     assert_eq!(
         allocations, 0,
-        "steady-state StableNode::observe must not allocate"
+        "steady-state response digestion must not allocate"
     );
 }
 

@@ -38,6 +38,7 @@ fn main() {
         protocol_seed: 0xF00D,
         probe_timeout_s: scale.probe_interval_s() * 3.0,
         adversary: None,
+        query_index: false,
     };
     if let Err(error) = schedule.validate() {
         eprintln!("invalid simulation schedule for scale '{scale}': {error}");

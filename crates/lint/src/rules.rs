@@ -21,7 +21,7 @@ use crate::lexer::{lex, Comment, Lexed, Tok, Token};
 /// Crates whose library code must be deterministic: no unordered std maps,
 /// no wall-clock reads, no ambient RNG. (Directory names under `crates/`.)
 const DETERMINISTIC_CRATES: &[&str] = &[
-    "core", "netsim", "vivaldi", "filters", "stats", "change", "proto",
+    "core", "netsim", "vivaldi", "filters", "stats", "change", "proto", "query",
 ];
 
 /// Crates allowed to read real clocks and ambient randomness: the UDP
@@ -29,7 +29,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 const WALLCLOCK_CRATES: &[&str] = &["transport", "bench"];
 
 /// Engine hot-path modules held to the no-panic rule.
-const HOT_PATH_FILES: &[&str] = &["node.rs", "sim.rs", "shard.rs"];
+const HOT_PATH_FILES: &[&str] = &["node.rs", "sim.rs", "shard.rs", "index.rs", "curve.rs"];
 
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
 const SAFETY_WINDOW: u32 = 5;
@@ -50,7 +50,7 @@ pub struct RuleInfo {
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "det-map",
-        description: "no std HashMap/HashSet in deterministic crates (core, netsim, vivaldi, filters, stats, change, proto) — use stable_nc::FxHashMap or a sorted structure",
+        description: "no std HashMap/HashSet in deterministic crates (core, netsim, vivaldi, filters, stats, change, proto, query) — use stable_nc::FxHashMap or a sorted structure",
     },
     RuleInfo {
         id: "det-wallclock",
@@ -58,7 +58,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "panic",
-        description: "no unwrap/expect and no un-annotated arithmetic slice index in engine hot-path modules (node.rs, sim.rs, shard.rs library code; tests exempt)",
+        description: "no unwrap/expect and no un-annotated arithmetic slice index in engine hot-path modules (node.rs, sim.rs, shard.rs, index.rs, curve.rs library code; tests exempt)",
     },
     RuleInfo {
         id: "unsafe-comment",
@@ -337,7 +337,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 
     let deterministic_scope = DETERMINISTIC_CRATES.contains(&class.crate_name.as_str());
     let wallclock_banned = !WALLCLOCK_CRATES.contains(&class.crate_name.as_str());
-    let hot_path = matches!(class.crate_name.as_str(), "core" | "netsim")
+    let hot_path = matches!(class.crate_name.as_str(), "core" | "netsim" | "query")
         && HOT_PATH_FILES.contains(&class.file_name.as_str());
 
     let tokens = &lexed.tokens;

@@ -117,25 +117,23 @@ impl LinkModelConfig {
 
     /// Sets the per-direction loss probability.
     ///
-    /// # Panics
-    ///
-    /// Panics when `p` is not a probability in `[0, 1]`.
+    /// The setter records the value as given; an out-of-range probability is
+    /// reported as [`ConfigError::LossProbabilityOutOfRange`] by
+    /// [`LinkModelConfig::validate`], which [`crate::Simulator::new`] runs
+    /// before any link is built. (Until the workspace-wide builder
+    /// unification this setter panicked on bad input; validation now lives
+    /// in one place for every config surface.)
     pub fn with_loss_probability(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "loss probability must be in [0, 1]"
-        );
         self.loss_probability = p;
         self
     }
 
     /// Sets the maximum one-way delay asymmetry fraction.
     ///
-    /// # Panics
-    ///
-    /// Panics when `a` is not in `[0, 1)`.
+    /// The setter records the value as given; anything outside `[0, 1)` is
+    /// reported as [`ConfigError::DelayAsymmetryOutOfRange`] by
+    /// [`LinkModelConfig::validate`].
     pub fn with_delay_asymmetry(mut self, a: f64) -> Self {
-        assert!((0.0..1.0).contains(&a), "delay asymmetry must be in [0, 1)");
         self.delay_asymmetry = a;
         self
     }
@@ -143,23 +141,57 @@ impl LinkModelConfig {
     /// Enables the random-walk base-RTT drift: per-step log-space standard
     /// deviation `sigma`, one step every `step_s` seconds.
     ///
-    /// # Panics
-    ///
-    /// Panics when the parameters fail [`LinkModelConfig::validate`].
+    /// The setter records the values as given; a non-positive step or
+    /// non-finite sigma is reported as a typed [`ConfigError`] by
+    /// [`LinkModelConfig::validate`].
     pub fn with_drift_walk(mut self, sigma: f64, step_s: f64) -> Self {
         self.drift_walk_sigma = sigma;
         self.drift_walk_step_s = step_s;
-        if let Err(error) = self.validate() {
-            panic!("invalid drift walk: {error}");
-        }
         self
     }
 
-    /// Checks the drift-walk parameters: the step must be a positive finite
-    /// period and the magnitude a finite non-negative number. Called by
-    /// [`crate::Simulator::new`] so malformed drift regimes fail fast
-    /// instead of silently producing NaN latencies.
+    /// Checks every tuning parameter for physical plausibility: probabilities
+    /// in range, magnitudes finite with the right sign, the drift-walk step a
+    /// positive finite period. Called by [`crate::Simulator::new`] so a
+    /// malformed model fails fast with a typed error instead of silently
+    /// producing NaN latencies mid-run — the same validation idiom
+    /// [`crate::SimConfig::validate`] and `stable_nc`'s
+    /// `NodeConfig::validate` use.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        let nonnegative = [
+            ("jitter_sigma", self.jitter_sigma),
+            ("drift_amplitude", self.drift_amplitude),
+            ("route_changes_per_day", self.route_changes_per_day),
+        ];
+        for (name, value) in nonnegative {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(ConfigError::LinkParameterInvalid { name, value });
+            }
+        }
+        let positive = [
+            ("outlier_alpha", self.outlier_alpha),
+            ("outlier_scale_factor", self.outlier_scale_factor),
+            ("min_rtt_ms", self.min_rtt_ms),
+        ];
+        for (name, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ConfigError::LinkParameterInvalid { name, value });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.outlier_probability) {
+            return Err(ConfigError::LinkParameterInvalid {
+                name: "outlier_probability",
+                value: self.outlier_probability,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.loss_probability) {
+            return Err(ConfigError::LossProbabilityOutOfRange(
+                self.loss_probability,
+            ));
+        }
+        if !(0.0..1.0).contains(&self.delay_asymmetry) {
+            return Err(ConfigError::DelayAsymmetryOutOfRange(self.delay_asymmetry));
+        }
         if !(self.drift_walk_step_s.is_finite() && self.drift_walk_step_s > 0.0) {
             return Err(ConfigError::DriftPeriodNotPositive(self.drift_walk_step_s));
         }
@@ -526,9 +558,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss probability")]
     fn loss_probability_must_be_a_probability() {
-        let _ = LinkModelConfig::default().with_loss_probability(1.5);
+        // Setters no longer panic; the bad value is carried until validate,
+        // where it comes back as a typed error.
+        let config = LinkModelConfig::default().with_loss_probability(1.5);
+        assert_eq!(
+            config.validate(),
+            Err(ConfigError::LossProbabilityOutOfRange(1.5))
+        );
+    }
+
+    #[test]
+    fn delay_asymmetry_must_leave_both_directions_positive() {
+        let config = LinkModelConfig::default().with_delay_asymmetry(1.0);
+        assert_eq!(
+            config.validate(),
+            Err(ConfigError::DelayAsymmetryOutOfRange(1.0))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unphysical_tuning_parameters() {
+        for (mutate, name) in [
+            (
+                (|c: &mut LinkModelConfig| c.jitter_sigma = -0.1) as fn(&mut LinkModelConfig),
+                "jitter_sigma",
+            ),
+            (|c| c.outlier_probability = 1.2, "outlier_probability"),
+            (|c| c.outlier_alpha = 0.0, "outlier_alpha"),
+            (
+                |c| c.outlier_scale_factor = f64::NAN,
+                "outlier_scale_factor",
+            ),
+            (|c| c.drift_amplitude = f64::INFINITY, "drift_amplitude"),
+            (|c| c.route_changes_per_day = -1.0, "route_changes_per_day"),
+            (|c| c.min_rtt_ms = 0.0, "min_rtt_ms"),
+        ] {
+            let mut config = LinkModelConfig::default();
+            mutate(&mut config);
+            assert!(
+                matches!(
+                    config.validate(),
+                    Err(ConfigError::LinkParameterInvalid { name: n, .. }) if n == name
+                ),
+                "{name} should be rejected, got {:?}",
+                config.validate()
+            );
+        }
     }
 
     #[test]
@@ -608,9 +684,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid drift walk")]
-    fn with_drift_walk_panics_on_nonpositive_step() {
-        let _ = LinkModelConfig::default().with_drift_walk(0.1, -5.0);
+    fn with_drift_walk_defers_range_errors_to_validate() {
+        let config = LinkModelConfig::default().with_drift_walk(0.1, -5.0);
+        assert_eq!(
+            config.validate(),
+            Err(ConfigError::DriftPeriodNotPositive(-5.0))
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use nc_proto::{Event, NodeSnapshot, ProbeRequest, ProbeResponse};
+use nc_query::CoordinateIndex;
 use rand::Rng;
 use stable_nc::{FxHashMap, NodeConfig, StableNode};
 
@@ -50,7 +51,8 @@ use crate::adversary::{apply_lie, CoordinateLie};
 use crate::metrics::{NodeMetrics, TrackedCoordinate};
 use crate::scenario::ScenarioAction;
 use crate::sim::{
-    fold_events, EngineState, EventQueue, PartitionWindow, ScheduleState, SimEnv, SimEvent,
+    feed_query_index, fold_events, EngineState, EventQueue, PartitionWindow, ScheduleState, SimEnv,
+    SimEvent,
 };
 
 /// One engine operation for one node, emitted by the planner in global
@@ -248,6 +250,11 @@ struct WorkerRun {
     /// `(sample index, track-list position, sample)` — stitched back into
     /// the per-run `tracked` vector in serial order after the join.
     tracked: Vec<(u32, u32, TrackedCoordinate)>,
+    /// This worker's slice of the run's optional coordinate query index.
+    /// A coordinate update for node `i` is only ever digested by worker
+    /// `i % threads`, so the per-worker indexes hold disjoint id sets and
+    /// merge without conflicts after the join.
+    index: Option<CoordinateIndex<usize>>,
 }
 
 /// One worker thread's state: its shard of every configuration plus a
@@ -328,6 +335,7 @@ impl Worker {
                             }
                         }
                         fold_events(node_metrics, now, measuring, &self.events);
+                        feed_query_index(run.index.as_mut(), rec.src as usize, &self.events);
                     }
                     cell.consumed.store(rec.epoch, Ordering::Release);
                 }
@@ -818,6 +826,12 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
                 metrics: Vec::with_capacity(n / threads + 1),
                 snapshots: Vec::with_capacity(n / threads + 1),
                 tracked: Vec::new(),
+                index: run.index.as_ref().map(|index| {
+                    CoordinateIndex::new(index.config().clone())
+                        // nc-lint: allow(panic) — the config validated when
+                        // the run's index was built; revalidation is free.
+                        .expect("a validated query config rebuilds")
+                }),
             });
         }
         for (i, ((node, metric), snapshot)) in
@@ -868,11 +882,13 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
         let mut metrics_iters: Vec<_> = Vec::with_capacity(threads);
         let mut snapshot_iters: Vec<_> = Vec::with_capacity(threads);
         let mut tracked: Vec<(u32, u32, TrackedCoordinate)> = Vec::new();
+        let mut index_parts: Vec<CoordinateIndex<usize>> = Vec::new();
         for shard in shards.drain(..) {
             nodes_iters.push(shard.nodes.into_iter());
             metrics_iters.push(shard.metrics.into_iter());
             snapshot_iters.push(shard.snapshots.into_iter());
             tracked.extend(shard.tracked);
+            index_parts.extend(shard.index);
         }
         let mut nodes = Vec::with_capacity(n);
         let mut metrics = Vec::with_capacity(n);
@@ -900,5 +916,16 @@ fn execute_plan(env: &SimEnv, state: &mut EngineState, plan: &Plan, threads: usi
             .tracked
             .extend(tracked.into_iter().map(|(_, _, sample)| sample));
         run.metrics.scenario_ops += plan.scenario_actions;
+        // Fold the per-worker query-index slices back into the run's index.
+        // Each worker digested a disjoint set of node ids, so the upserts
+        // never collide and the merged contents equal a serial run's
+        // (rebalance counters are layout diagnostics and may differ).
+        if let Some(target) = run.index.as_mut() {
+            for part in &index_parts {
+                for (id, coordinate) in part.iter() {
+                    let _ = target.update(*id, coordinate);
+                }
+            }
+        }
     }
 }

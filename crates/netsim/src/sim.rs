@@ -49,6 +49,7 @@
 use std::cmp::Ordering;
 
 use nc_proto::{Event, NodeSnapshot, ProbeRequest, ProbeResponse};
+use nc_query::{CoordinateIndex, QueryConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,20 @@ pub enum ConfigError {
     DriftPeriodNotPositive(f64),
     /// The drift-walk magnitude is not a finite non-negative number.
     DriftMagnitudeNotFinite(f64),
+    /// The per-direction loss probability is not in `[0, 1]`.
+    LossProbabilityOutOfRange(f64),
+    /// The delay-asymmetry fraction is not in `[0, 1)`.
+    DelayAsymmetryOutOfRange(f64),
+    /// A link-model tuning parameter has an unphysical value (wrong sign,
+    /// NaN or infinity).
+    LinkParameterInvalid {
+        /// The field name, as written in [`crate::LinkModelConfig`].
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The initial neighbour count is zero: no node would ever probe.
+    ZeroInitialNeighbors,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -145,6 +160,21 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "drift-walk magnitude must be finite and non-negative, got {s}"
             ),
+            ConfigError::LossProbabilityOutOfRange(p) => {
+                write!(f, "loss probability must be in [0, 1], got {p}")
+            }
+            ConfigError::DelayAsymmetryOutOfRange(a) => {
+                write!(f, "delay asymmetry must be in [0, 1), got {a}")
+            }
+            ConfigError::LinkParameterInvalid { name, value } => {
+                write!(
+                    f,
+                    "link-model parameter {name} has unphysical value {value}"
+                )
+            }
+            ConfigError::ZeroInitialNeighbors => {
+                write!(f, "initial neighbour count must be at least 1")
+            }
         }
     }
 }
@@ -184,6 +214,12 @@ pub struct SimConfig {
     /// byte-identical to an adversary-free run — the adversary layer draws
     /// from its own RNG and only for nodes that actually misbehave.
     pub adversary: Option<AdversaryConfig>,
+    /// Maintains a per-configuration [`nc_query::CoordinateIndex`] fed from
+    /// the engines' application-coordinate updates, queryable after the run
+    /// via [`Simulator::query_index`]. Off by default: the index is pure
+    /// read-path state and never influences the probe schedule or the
+    /// [`SimReport`], so enabling it cannot change simulation results.
+    pub query_index: bool,
 }
 
 impl SimConfig {
@@ -208,6 +244,7 @@ impl SimConfig {
             protocol_seed: 0xF00D,
             probe_timeout_s: probe_interval_s * 3.0,
             adversary: None,
+            query_index: false,
         }
         .validate()
         .unwrap_or_else(|error| panic!("invalid simulation schedule: {error}"))
@@ -226,7 +263,8 @@ impl SimConfig {
     ///
     /// Returns the first [`ConfigError`] found: non-positive duration,
     /// interval, track interval or timeout; an interval longer than the
-    /// run; or a measurement start outside `[0, duration)`.
+    /// run; a measurement start outside `[0, duration)`; or a zero initial
+    /// neighbour count.
     pub fn validate(self) -> Result<Self, ConfigError> {
         if !(self.duration_s.is_finite() && self.duration_s > 0.0) {
             return Err(ConfigError::NonPositiveDuration(self.duration_s));
@@ -255,6 +293,9 @@ impl SimConfig {
         if !(self.probe_timeout_s.is_finite() && self.probe_timeout_s > 0.0) {
             return Err(ConfigError::NonPositiveProbeTimeout(self.probe_timeout_s));
         }
+        if self.initial_neighbors == 0 {
+            return Err(ConfigError::ZeroInitialNeighbors);
+        }
         if let Some(adversary) = &self.adversary {
             adversary.validate()?;
         }
@@ -268,8 +309,14 @@ impl SimConfig {
     }
 
     /// Sets the initial neighbour count.
+    ///
+    /// The setter records the value as given; a count of zero (nodes that
+    /// know nobody can never probe) is reported as
+    /// [`ConfigError::ZeroInitialNeighbors`] by [`SimConfig::validate`].
+    /// (This setter used to silently round zero up to one; the
+    /// workspace-wide builder unification moved the rule into `validate`.)
     pub fn with_initial_neighbors(mut self, count: usize) -> Self {
-        self.initial_neighbors = count.max(1);
+        self.initial_neighbors = count;
         self
     }
 
@@ -308,6 +355,12 @@ impl SimConfig {
     /// Sets the full adversary assignment, including its RNG seed.
     pub fn with_adversary_config(mut self, adversary: AdversaryConfig) -> Self {
         self.adversary = Some(adversary);
+        self
+    }
+
+    /// Enables the coordinate query index (see [`SimConfig::query_index`]).
+    pub fn with_query_index(mut self) -> Self {
+        self.query_index = true;
         self
     }
 
@@ -502,6 +555,10 @@ pub(crate) struct ConfigRun {
     pub(crate) config: NodeConfig,
     pub(crate) nodes: Vec<StableNode<usize>>,
     pub(crate) metrics: ConfigMetrics,
+    /// Read-path index over published application coordinates, present when
+    /// [`SimConfig::query_index`] is set. Fed from `ApplicationUpdated`
+    /// events only — it never influences the schedule or the report.
+    pub(crate) index: Option<CoordinateIndex<usize>>,
 }
 
 /// Reusable per-exchange wire buffers: one request and one response per
@@ -708,7 +765,10 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics when `configs` is empty, when two configurations share a name,
-    /// when a tracked node index is out of range, or when the schedule fails
+    /// when a tracked node index is out of range, when
+    /// [`SimConfig::query_index`] is enabled for a coordinate space the
+    /// index cannot key (more than eight dimensions), or when the schedule
+    /// fails
     /// [`SimConfig::validate`].
     pub fn new(
         workload: PlanetLabConfig,
@@ -763,12 +823,20 @@ impl Simulator {
 
         let measurement_duration = sim_config.measurement_duration_s();
         let run_count = configs.len();
+        let query_index = sim_config.query_index;
         let runs = configs
             .into_iter()
             .map(|(name, config)| ConfigRun {
                 name,
                 nodes: (0..n).map(|_| StableNode::new(config.clone())).collect(),
                 metrics: ConfigMetrics::new(n, measurement_duration),
+                index: query_index.then(|| {
+                    CoordinateIndex::new(QueryConfig {
+                        dimensions: config.vivaldi.dimensions(),
+                        ..QueryConfig::default()
+                    })
+                    .unwrap_or_else(|error| panic!("query index unavailable: {error}"))
+                }),
                 config,
             })
             .collect();
@@ -900,6 +968,26 @@ impl Simulator {
         &self.env.topology
     }
 
+    /// The named configuration's coordinate query index — the read path
+    /// over the application coordinates its engines have published so far.
+    /// Populated during [`Simulator::run`]; query it afterwards (or between
+    /// staged runs) for k-nearest-node, closest-replica and centroid
+    /// answers. Returns `None` for an unknown name or when
+    /// [`SimConfig::query_index`] was not enabled.
+    ///
+    /// A node appears in the index once it publishes its first application
+    /// coordinate update and keeps its last published coordinate through
+    /// crashes and restarts — the index mirrors a lookup service that
+    /// serves the last-known coordinate of an unreachable node until it
+    /// re-announces.
+    pub fn query_index(&self, name: &str) -> Option<&CoordinateIndex<usize>> {
+        self.state
+            .runs
+            .iter()
+            .find(|run| run.name == name)
+            .and_then(|run| run.index.as_ref())
+    }
+
     /// Indices of the nodes made adversarial by the static
     /// [`SimConfig::adversary`] assignment, in ascending order. Scenario
     /// scripts can change assignments later; this reflects the state at
@@ -974,6 +1062,29 @@ impl Simulator {
             self.env.sim_config.duration_s,
             self.env.sim_config.measurement_start_s,
         )
+    }
+}
+
+/// Feeds a run's optional coordinate query index from one engine event
+/// stream: every `ApplicationUpdated` upserts the publishing node's new
+/// application coordinate. Both executors (the serial event loop and the
+/// node-sharded planner) call this from their response-digest step — the
+/// only place the engines publish coordinates — so the final index contents
+/// are identical across execution modes.
+pub(crate) fn feed_query_index(
+    index: Option<&mut CoordinateIndex<usize>>,
+    node: usize,
+    events: &[Event<usize>],
+) {
+    let Some(index) = index else {
+        return;
+    };
+    for event in events {
+        if let Event::ApplicationUpdated { update } = event {
+            // The engine only publishes finite coordinates of the
+            // dimensionality the index was sized for, so this cannot fail.
+            let _ = index.update(node, &update.current);
+        }
     }
 }
 
@@ -1337,6 +1448,7 @@ impl EngineState {
                     }
                 }
                 fold_events(node_metrics, now, measuring, events_scratch);
+                feed_query_index(run.index.as_mut(), src, events_scratch);
             }
         }
         self.release_slot(slot);

@@ -1,0 +1,127 @@
+//! Publish/subscribe handles for serving queries off the engine thread.
+//!
+//! A deployed node answers coordinate queries from its socket thread while
+//! its engine thread keeps updating the index. Rather than sharing one
+//! mutable index behind a lock held across whole queries, the engine
+//! publishes immutable snapshots: [`QueryPublisher::publish`] swaps in a
+//! fresh [`CoordinateIndex`] behind an `Arc`, and every
+//! [`QueryHandle::snapshot`] call gets the latest published index to query
+//! lock-free for as long as it likes. Readers never block the publisher and
+//! never observe a half-updated index.
+
+use std::sync::{Arc, RwLock};
+
+use crate::index::CoordinateIndex;
+
+/// The writer half: owns the slot that [`QueryHandle`]s read from.
+#[derive(Debug)]
+pub struct QueryPublisher<Id> {
+    slot: Arc<RwLock<Arc<CoordinateIndex<Id>>>>,
+}
+
+/// The reader half: cheap to clone, hand one to every thread that answers
+/// queries.
+#[derive(Debug)]
+pub struct QueryHandle<Id> {
+    slot: Arc<RwLock<Arc<CoordinateIndex<Id>>>>,
+}
+
+impl<Id> Clone for QueryHandle<Id> {
+    fn clone(&self) -> Self {
+        QueryHandle {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+impl<Id> QueryPublisher<Id> {
+    /// Creates a publisher seeded with an initial index (usually empty).
+    pub fn new(index: CoordinateIndex<Id>) -> Self {
+        QueryPublisher {
+            slot: Arc::new(RwLock::new(Arc::new(index))),
+        }
+    }
+
+    /// Replaces the published snapshot. Readers holding the previous
+    /// snapshot keep it alive until they drop it; new `snapshot()` calls
+    /// see this index.
+    pub fn publish(&self, index: CoordinateIndex<Id>) {
+        let fresh = Arc::new(index);
+        match self.slot.write() {
+            Ok(mut guard) => *guard = fresh,
+            // A reader can only poison the lock by panicking mid-clone;
+            // the slot itself is still a valid Arc, so keep serving.
+            Err(poisoned) => *poisoned.into_inner() = fresh,
+        }
+    }
+
+    /// The most recently published snapshot (what a fresh handle would
+    /// see).
+    pub fn snapshot(&self) -> Arc<CoordinateIndex<Id>> {
+        read_slot(&self.slot)
+    }
+
+    /// Creates a reader handle bound to this publisher's slot.
+    pub fn handle(&self) -> QueryHandle<Id> {
+        QueryHandle {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+impl<Id> QueryHandle<Id> {
+    /// The latest published index. The returned snapshot is immutable and
+    /// wholly owned: queries on it never contend with the publisher.
+    pub fn snapshot(&self) -> Arc<CoordinateIndex<Id>> {
+        read_slot(&self.slot)
+    }
+}
+
+fn read_slot<Id>(slot: &Arc<RwLock<Arc<CoordinateIndex<Id>>>>) -> Arc<CoordinateIndex<Id>> {
+    match slot.read() {
+        Ok(guard) => Arc::clone(&guard),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryConfig;
+    use nc_vivaldi::Coordinate;
+
+    #[test]
+    fn handles_see_published_snapshots() {
+        let empty: CoordinateIndex<u32> = CoordinateIndex::new(QueryConfig::default()).unwrap();
+        let publisher = QueryPublisher::new(empty);
+        let handle = publisher.handle();
+        assert!(handle.snapshot().is_empty());
+
+        let mut next = CoordinateIndex::new(QueryConfig::default()).unwrap();
+        next.update(7, &Coordinate::new([1.0, 2.0, 3.0]).unwrap())
+            .unwrap();
+        publisher.publish(next);
+        assert_eq!(handle.snapshot().len(), 1);
+        assert_eq!(publisher.snapshot().len(), 1);
+
+        // An old snapshot taken before a publish stays valid and unchanged.
+        let old = handle.snapshot();
+        publisher.publish(CoordinateIndex::new(QueryConfig::default()).unwrap());
+        assert_eq!(old.len(), 1);
+        assert!(handle.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshots_cross_threads() {
+        let publisher =
+            QueryPublisher::new(CoordinateIndex::<u32>::new(QueryConfig::default()).unwrap());
+        let handle = publisher.handle();
+        let reader = std::thread::spawn(move || handle.snapshot().len());
+        let mut idx = CoordinateIndex::new(QueryConfig::default()).unwrap();
+        idx.update(1, &Coordinate::origin(3)).unwrap();
+        publisher.publish(idx);
+        // Whichever snapshot the reader raced to is a valid index.
+        let seen = reader.join().unwrap();
+        assert!(seen == 0 || seen == 1);
+    }
+}

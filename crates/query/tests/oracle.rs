@@ -1,0 +1,128 @@
+//! The k-NN exactness contract (vendored proptest): for every random point
+//! set, churn sequence and degenerate layout, [`CoordinateIndex::k_nearest`]
+//! must return *byte-identical* rankings to a brute-force oracle that scans
+//! all tracked nodes and sorts by `(exact distance, id)`. The index's
+//! Z-order seeding, box pruning and BIGMIN jumps are pure accelerations —
+//! any divergence from the oracle is a bug, never a trade-off.
+
+use nc_query::{CoordinateIndex, QueryConfig, QueryMatch};
+use nc_vivaldi::Coordinate;
+use proptest::prelude::*;
+
+const BOUND_MS: f64 = 1_000.0;
+
+/// Decodes a word into a coordinate inside (and occasionally outside) the
+/// quantization bound, exercising the clamped grid edges too.
+fn decode_coordinate(word: u64) -> Coordinate {
+    let axis = |shift: u32| {
+        let raw = ((word >> shift) & 0xFFFF) as f64;
+        // Spread over [-1.2, 1.2] × bound: ~17% of mass beyond the grid.
+        (raw / 65_535.0 - 0.5) * 2.4 * BOUND_MS
+    };
+    let height = ((word >> 48) & 0x3FF) as f64 / 10.0;
+    Coordinate::with_height([axis(0), axis(16), axis(32)], height).expect("finite components")
+}
+
+fn oracle(index: &CoordinateIndex<u32>, target: &Coordinate, k: usize) -> Vec<(u32, f64)> {
+    let mut ranked: Vec<(u32, f64)> = index
+        .iter()
+        .map(|(id, coordinate)| (*id, target.distance(coordinate)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+fn flatten(matches: Vec<QueryMatch<u32>>) -> Vec<(u32, f64)> {
+    matches.into_iter().map(|m| (m.id, m.distance_ms)).collect()
+}
+
+fn small_index(max_shard_entries: usize) -> CoordinateIndex<u32> {
+    CoordinateIndex::new(QueryConfig {
+        dimensions: 3,
+        coordinate_bound_ms: BOUND_MS,
+        max_shard_entries,
+    })
+    .expect("valid config")
+}
+
+proptest! {
+    #[test]
+    fn knn_equals_the_brute_force_oracle_on_random_point_sets(
+        points in proptest::collection::vec(0u64..u64::MAX, 1..200),
+        targets in proptest::collection::vec(0u64..u64::MAX, 1..8),
+        k_word in 0usize..32,
+    ) {
+        // A tiny shard capacity forces multi-shard layouts (splits) even
+        // for small populations, so the scan crosses shard boundaries.
+        let mut index = small_index(8);
+        for (id, word) in points.iter().enumerate() {
+            index.update(id as u32, &decode_coordinate(*word)).expect("insert");
+        }
+        let k = 1 + k_word % (points.len() + 4);
+        for word in &targets {
+            let target = decode_coordinate(*word);
+            let got = flatten(index.k_nearest(&target, k).expect("query"));
+            prop_assert_eq!(&got, &oracle(&index, &target, k));
+        }
+        // Indexed nodes query for themselves too (distance-zero seeds).
+        if let Some(word) = points.first() {
+            let own = decode_coordinate(*word);
+            let got = flatten(index.k_nearest(&own, k).expect("query"));
+            prop_assert_eq!(&got, &oracle(&index, &own, k));
+        }
+    }
+
+    #[test]
+    fn knn_stays_exact_under_update_and_remove_churn(
+        ops in proptest::collection::vec(0u64..u64::MAX, 1..300),
+        target_word in 0u64..u64::MAX,
+    ) {
+        // Ids collide on purpose (mod 48): every third op removes, the rest
+        // insert or move — the index sees the full update/remove life cycle
+        // with shard splits and merges along the way.
+        let mut index = small_index(8);
+        for op in &ops {
+            let id = (op % 48) as u32;
+            if op % 3 == 0 {
+                index.remove(&id);
+            } else {
+                index.update(id, &decode_coordinate(op.rotate_left(17))).expect("upsert");
+            }
+        }
+        let target = decode_coordinate(target_word);
+        for k in [1usize, 3, 16, 64] {
+            let got = flatten(index.k_nearest(&target, k).expect("query"));
+            prop_assert_eq!(&got, &oracle(&index, &target, k));
+        }
+    }
+
+    #[test]
+    fn knn_handles_degenerate_populations(
+        population in 1usize..60,
+        colocated_word in 0u64..u64::MAX,
+        target_word in 0u64..u64::MAX,
+        k_word in 0usize..8,
+    ) {
+        // All-colocated: every node quantizes to the same Z-order cell, so
+        // ranking degenerates to pure id tie-breaking.
+        let mut colocated = small_index(8);
+        let spot = decode_coordinate(colocated_word);
+        for id in 0..population as u32 {
+            colocated.update(id, &spot).expect("insert");
+        }
+        let target = decode_coordinate(target_word);
+        let k = 1 + k_word;
+        let got = flatten(colocated.k_nearest(&target, k).expect("query"));
+        let expected: Vec<(u32, f64)> = (0..population.min(k) as u32)
+            .map(|id| (id, target.distance(&spot)))
+            .collect();
+        prop_assert_eq!(&got, &expected);
+
+        // Single-node index: always the unique answer, any k.
+        let mut single = small_index(8);
+        single.update(7, &spot).expect("insert");
+        let got = flatten(single.k_nearest(&target, k).expect("query"));
+        prop_assert_eq!(got, vec![(7u32, target.distance(&spot))]);
+    }
+}

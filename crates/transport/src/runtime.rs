@@ -31,6 +31,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nc_proto::{BinaryMessage, Event, NodeSnapshot, Packet};
+use nc_query::{CoordinateIndex, QueryConfig, QueryHandle, QueryPublisher};
 use nc_vivaldi::Coordinate;
 use stable_nc::{NodeConfig, StableNode};
 
@@ -138,6 +139,11 @@ struct Shared {
     config: RuntimeConfig,
     local_addr: SocketAddr,
     advertised: SocketAddr,
+    /// Publisher side of the coordinate query snapshots: rebuilt from the
+    /// engine's [`stable_nc::NodeView`] whenever the application coordinate
+    /// moves (and on the expire tick, so peer refreshes flow too), consumed
+    /// lock-free through [`NodeRuntime::query_handle`].
+    query: QueryPublisher<SocketAddr>,
 }
 
 /// A running UDP coordinate node. See the [module docs](self).
@@ -186,6 +192,10 @@ impl NodeRuntime {
             }
         }
 
+        let query = QueryPublisher::new(
+            empty_query_index(&config)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?,
+        );
         let shared = Arc::new(Shared {
             engine: Mutex::new(EngineCore {
                 node,
@@ -197,7 +207,11 @@ impl NodeRuntime {
             config,
             local_addr,
             advertised,
+            query,
         });
+        // A restored node already owns a coordinate; make it queryable
+        // before the first exchange.
+        publish_query_snapshot(&shared);
 
         let mut threads = Vec::new();
         {
@@ -253,13 +267,28 @@ impl NodeRuntime {
 
     /// Number of peers currently in the probe schedule.
     pub fn membership_len(&self) -> usize {
+        self.view().membership.len()
+    }
+
+    /// A read-only snapshot of the engine's externally observable state.
+    pub fn view(&self) -> stable_nc::NodeView<SocketAddr> {
         let engine = self.shared.engine.lock().expect("engine lock");
-        engine.node.membership().len()
+        engine.node.view()
     }
 
     /// One human-readable status line (what the stats tick prints).
     pub fn stats_line(&self) -> String {
         runtime_stats_line(&self.shared)
+    }
+
+    /// A cheap, cloneable handle onto this node's coordinate query
+    /// snapshots. Each [`QueryHandle::snapshot`] call returns an immutable
+    /// [`CoordinateIndex`] over the node's own application coordinate and
+    /// every peer coordinate it has heard, refreshed by the runtime's
+    /// threads — answering k-nearest or closest-replica queries from it
+    /// never takes the engine lock.
+    pub fn query_handle(&self) -> QueryHandle<SocketAddr> {
+        self.shared.query.handle()
     }
 
     /// Stops both threads, persists the snapshot when configured, and
@@ -279,6 +308,34 @@ impl NodeRuntime {
         drop(self.socket);
         Ok(snapshot)
     }
+}
+
+/// Builds an empty query index sized to the runtime's coordinate space.
+fn empty_query_index(
+    config: &RuntimeConfig,
+) -> Result<CoordinateIndex<SocketAddr>, nc_query::QueryError> {
+    CoordinateIndex::new(QueryConfig {
+        dimensions: config.node.vivaldi.dimensions(),
+        ..QueryConfig::default()
+    })
+}
+
+/// Rebuilds the published query snapshot from the engine's current view.
+/// Rebuilding (rather than mutating a shared index) keeps reader snapshots
+/// immutable; the population is one node's membership, so the cost is
+/// trivial next to a datagram digest.
+fn publish_query_snapshot(shared: &Shared) {
+    let view = {
+        let engine = shared.engine.lock().expect("engine lock");
+        engine.node.view()
+    };
+    let Ok(mut index) = empty_query_index(&shared.config) else {
+        return;
+    };
+    // The engine's view only holds validated coordinates of its own
+    // dimensionality, so absorbing it cannot fail.
+    let _ = index.absorb_view(Some(&shared.advertised), &view);
+    shared.query.publish(index);
 }
 
 fn socket_loop(shared: &Shared, socket: &UdpSocket) {
@@ -328,6 +385,14 @@ fn socket_loop(shared: &Shared, socket: &UdpSocket) {
                 events.clear();
                 engine.node.handle_response_into(&response, &mut events);
                 drop(engine);
+                // A published application coordinate is the one event class
+                // query snapshots must not lag behind.
+                if events
+                    .iter()
+                    .any(|event| matches!(event, Event::ApplicationUpdated { .. }))
+                {
+                    publish_query_snapshot(shared);
+                }
                 for event in &events {
                     match event {
                         Event::ResponseIgnored { .. } => {
@@ -453,6 +518,10 @@ fn tick_loop(shared: &Shared, socket: &UdpSocket) {
                             _ => {}
                         }
                     }
+                    // Peer coordinates refresh with every digested reply;
+                    // republishing on the expire cadence keeps query
+                    // snapshots current without an extra timer.
+                    publish_query_snapshot(shared);
                     wheel.schedule(now_ms + expire_interval_ms, Tick::Expire);
                 }
                 Tick::Stats => {
@@ -467,25 +536,24 @@ fn tick_loop(shared: &Shared, socket: &UdpSocket) {
 /// Builds the status line from shared state (the tick thread has no
 /// `NodeRuntime` handle).
 fn runtime_stats_line(shared: &Shared) -> String {
-    let (coordinate, error, peers) = {
+    let view = {
         let engine = shared.engine.lock().expect("engine lock");
-        (
-            engine.node.system_coordinate().clone(),
-            engine.node.error_estimate(),
-            engine.node.membership().len(),
-        )
+        engine.node.view()
     };
     let stats = shared.stats.snapshot();
     let elapsed = shared.clock.now_ms() as f64 / 1e3;
-    let components: Vec<String> = coordinate
+    let components: Vec<String> = view
+        .system
         .components()
         .iter()
         .map(|c| format!("{c:.1}"))
         .collect();
     format!(
-        "t={elapsed:.1}s coord=[{}] h={:.1} err={error:.3} peers={peers} sent={} recv={} answered={} ignored={} lost={} evicted={}",
+        "t={elapsed:.1}s coord=[{}] h={:.1} err={:.3} peers={} sent={} recv={} answered={} ignored={} lost={} evicted={}",
         components.join(","),
-        coordinate.height(),
+        view.system.height(),
+        view.error_estimate,
+        view.membership.len(),
         stats.probes_sent,
         stats.responses_received,
         stats.requests_answered,

@@ -243,6 +243,66 @@ fn replies_after_the_probe_timeout_are_ignored_not_double_applied() {
 }
 
 #[test]
+fn query_snapshots_serve_nearest_replica_without_the_engine_lock() {
+    // Two nodes converge on an emulated 40 ms link while a QueryHandle —
+    // the read path a deployment answers anycast lookups from — watches
+    // from outside the engine lock. The published snapshot must contain
+    // the node itself plus the probed peer, resolve the peer's coordinate,
+    // and rank the peer as the nearest replica to its own position.
+    let (sockets, real_addrs) = bind_real_sockets(2);
+    let harness = DelayHarness::builder(2)
+        .seed(23)
+        .default_link(LinkSpec::from_rtt(40.0))
+        .start(&real_addrs)
+        .expect("start harness");
+
+    let mut sockets = sockets.into_iter();
+    let config = |index: usize, seeds: Vec<SocketAddr>| RuntimeConfig {
+        node: NodeConfig::paper_defaults(),
+        seeds,
+        advertised_addr: Some(harness.public_addr(index)),
+        probe_interval_ms: 5,
+        probe_timeout_ms: 500,
+        stats_interval_ms: 0,
+        snapshot_path: None,
+    };
+    let a = NodeRuntime::start(
+        sockets.next().unwrap(),
+        config(0, vec![harness.public_addr(1)]),
+    )
+    .expect("start a");
+    let b = NodeRuntime::start(sockets.next().unwrap(), config(1, Vec::new())).expect("start b");
+
+    let handle = a.query_handle();
+    // The startup publish happens before any exchange: an empty-but-alive
+    // snapshot (node at the origin) is already queryable.
+    assert!(!handle.snapshot().is_empty());
+
+    std::thread::sleep(Duration::from_secs(3));
+    let snapshot = handle.snapshot();
+    assert!(
+        snapshot.len() >= 2,
+        "own coordinate plus the probed peer, got {}",
+        snapshot.len()
+    );
+    let peer = harness.public_addr(1);
+    let peer_coordinate = snapshot
+        .coordinate_of(&peer)
+        .expect("probed peer is indexed")
+        .clone();
+    let hit = snapshot
+        .nearest(&peer_coordinate)
+        .expect("valid query")
+        .expect("non-empty index");
+    assert_eq!(hit.id, peer, "the peer is its own nearest replica");
+    // The snapshot is a stable value: runtime progress never mutates it
+    // under a reader, and dropping the runtimes cannot invalidate it.
+    a.shutdown().expect("shutdown a");
+    b.shutdown().expect("shutdown b");
+    assert!(snapshot.coordinate_of(&peer).is_some());
+}
+
+#[test]
 fn duplicated_replies_are_applied_once_and_ignored_after() {
     // Every datagram is delivered twice. Each probe is applied exactly once;
     // the byte-identical second copy surfaces as ignored and the pair still

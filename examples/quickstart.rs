@@ -84,7 +84,7 @@ fn main() {
     println!(
         "node 0 published {} application-level updates for {} observations",
         app_updates_node0,
-        nodes[0].observations()
+        nodes[0].view().observations
     );
     println!("{probes_lost} probes were dropped by the network and expired as ProbeLost");
 

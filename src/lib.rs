@@ -13,6 +13,10 @@
 //!   individual building blocks, usable on their own.
 //! * [`nc_netsim`] — the synthetic PlanetLab-style workload and simulator
 //!   used by the evaluation (itself a driver of the sans-I/O engine).
+//! * [`nc_query`] — the read path over live coordinates: a sharded Z-order
+//!   [`CoordinateIndex`] serving exact k-nearest-node, closest-replica and
+//!   centroid/cluster queries, fed from the sim's event stream or a
+//!   runtime's [`QueryHandle`] snapshots.
 //! * [`nc_transport`] — the deployment layer: a threaded UDP runtime
 //!   driving the engine over real sockets (binary datagrams, snapshot
 //!   persistence, the `nc-node` binary) plus a delay-injecting loopback
@@ -51,15 +55,18 @@ pub use nc_experiments;
 pub use nc_filters;
 pub use nc_netsim;
 pub use nc_proto;
+pub use nc_query;
 pub use nc_stats;
 pub use nc_transport;
 pub use nc_vivaldi;
 pub use stable_nc;
 
+pub use nc_query::{CoordinateIndex, QueryConfig, QueryHandle, QueryMatch};
 pub use stable_nc::{
     ApplicationUpdate, Coordinate, Event, FilterConfig, GossipEntry, HeuristicConfig, NodeConfig,
-    NodeConfigBuilder, NodeSnapshot, ObservationOutcome, OutlierGateConfig, ProbeRequest,
-    ProbeResponse, StableNode, VivaldiConfig, WireError, WireMessage, PROTOCOL_VERSION,
+    NodeConfigBuilder, NodeConfigError, NodeSnapshot, NodeView, OutlierGateConfig, PeerView,
+    ProbeRequest, ProbeResponse, StableNode, VivaldiConfig, WireError, WireMessage,
+    PROTOCOL_VERSION,
 };
 
 #[cfg(test)]
@@ -74,6 +81,24 @@ mod tests {
             .build();
         let node: StableNode<u8> = StableNode::new(config);
         assert_eq!(node.system_coordinate().dimensions(), 3);
+    }
+
+    #[test]
+    fn facade_exposes_the_query_layer() {
+        let mut index: CoordinateIndex<u8> =
+            CoordinateIndex::new(QueryConfig::default()).expect("default query config validates");
+        index
+            .update(
+                7,
+                &Coordinate::new([1.0, 2.0, 3.0]).expect("finite coordinate"),
+            )
+            .expect("update tracks the node");
+        let origin = Coordinate::new([0.0, 0.0, 0.0]).expect("finite coordinate");
+        let near: QueryMatch<u8> = index
+            .nearest(&origin)
+            .expect("query succeeds")
+            .expect("one node is tracked");
+        assert_eq!(near.id, 7);
     }
 
     #[test]

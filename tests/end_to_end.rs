@@ -166,7 +166,10 @@ fn every_filter_and_heuristic_combination_runs() {
                 response.rtt_ms = rtt;
                 node.handle_response(&response);
             }
-            assert!(node.observations() == 200, "{filter:?} + {heuristic:?}");
+            assert!(
+                node.view().observations == 200,
+                "{filter:?} + {heuristic:?}"
+            );
             assert!(
                 node.system_coordinate()
                     .components()
@@ -198,7 +201,7 @@ fn warmup_protects_against_first_sample_outliers_end_to_end() {
         for _ in 0..20 {
             send(&mut node, 35.0);
         }
-        node.system_displacement_ms()
+        node.view().system_displacement_ms
     };
     let without = run(0);
     let with = run(2);
@@ -305,8 +308,8 @@ fn node_snapshotted_mid_run_replays_to_identical_coordinates() {
         nodes[0].application_coordinate()
     );
     assert_eq!(
-        restored.application_update_count(),
-        nodes[0].application_update_count()
+        restored.view().application_updates,
+        nodes[0].view().application_updates
     );
 }
 
